@@ -1,0 +1,118 @@
+"""Property (3) — camouflage restriction, quantified.
+
+Two studies on top of the shared scenario's marketplace:
+
+* **Evasion economics** (Section V-C's Zarankiewicz argument): a
+  fully-informed attacker who keeps their fake edges ``K_{k1,k2}``-free is
+  invisible to extraction, but the bound caps their fake-click budget and
+  the per-target I2I lift collapses relative to the overt (Eq. 3-optimal)
+  campaign.  Invisibility is bought with effectiveness.
+
+* **Camouflage sweep** (the adversarial challenge of Section III-A): RICD
+  quality stays flat as workers pile on disguise clicks, because random
+  camouflage edges never build the two-hop co-click structure the
+  extractor keys on.
+"""
+
+from repro.config import RICDParams
+from repro.core.camouflage import undetected_campaign_bound
+from repro.core.framework import RICDDetector
+from repro.datagen import MarketplaceConfig, generate_marketplace
+from repro.eval.reporting import format_float, render_table
+from repro.eval.robustness import camouflage_sweep, evasion_economics
+
+
+def test_evasion_economics(benchmark, emit_report):
+    params = RICDParams(k1=10, k2=10)
+    clean = generate_marketplace(MarketplaceConfig(n_swarms=0, n_superfans=0, seed=21))
+    report = benchmark.pedantic(
+        evasion_economics,
+        args=(clean, params),
+        kwargs={"n_workers": 25, "n_targets": 12, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        render_table(
+            ["campaign", "detection rate", "mean target I2I"],
+            [
+                [
+                    "overt (Eq. 3 optimum)",
+                    format_float(report.overt_detection_rate, 2),
+                    format_float(report.overt_mean_lift, 5),
+                ],
+                [
+                    "invisible (K-free)",
+                    format_float(report.evasive_detection_rate, 2),
+                    format_float(report.evasive_mean_lift, 5),
+                ],
+            ],
+            title=(
+                "Property 3 — evasion economics "
+                f"(invisible-click bound: {report.invisible_click_bound}, "
+                f"evasive campaign placed {report.evasive_fake_edges} target edges)"
+            ),
+        )
+    )
+    assert report.overt_detection_rate >= 0.8
+    assert report.evasive_detection_rate == 0.0
+    assert report.evasive_mean_lift < report.overt_mean_lift
+    assert report.evasive_fake_edges <= report.invisible_click_bound
+
+
+def test_zarankiewicz_bound_table(benchmark, emit_report):
+    params = RICDParams(k1=10, k2=10)
+
+    def build_rows():
+        return [
+            [workers, undetected_campaign_bound(workers, 12, params)]
+            for workers in (10, 20, 40, 80, 160)
+        ]
+
+    rows = benchmark(build_rows)
+    emit_report(
+        render_table(
+            ["accounts", "max invisible fake edges (12 targets)"],
+            rows,
+            title="Property 3 — Zarankiewicz ceiling grows sublinearly per account",
+        )
+    )
+    # Doubling accounts must less-than-double the per-account ceiling.
+    ratios = [rows[i + 1][1] / rows[i][1] for i in range(len(rows) - 1) if rows[i][1]]
+    assert all(ratio <= 2.0 + 1e-9 for ratio in ratios)
+
+
+def test_camouflage_sweep(benchmark, scenario, emit_report):
+    levels = ((0, 0), (3, 10), (12, 25))
+    points = benchmark.pedantic(
+        camouflage_sweep,
+        args=(scenario, lambda: RICDDetector()),
+        kwargs={"levels": levels},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        render_table(
+            ["camouflage items/worker", "P", "R", "F1"],
+            [
+                [
+                    f"{p.camouflage_items[0]}-{p.camouflage_items[1]}",
+                    format_float(p.metrics.precision),
+                    format_float(p.metrics.recall),
+                    format_float(p.metrics.f1),
+                ]
+                for p in points
+            ],
+            title=(
+                "Camouflage sweep — disguise never hurts RICD (it can even "
+                "backfire: camouflage edges pad worker degrees past the "
+                "CorePruning floor, re-exposing small campaigns)"
+            ),
+        )
+    )
+    # Camouflage must never *help the attacker*: quality is monotone
+    # non-decreasing in disguise volume on this environment.
+    f1_values = [p.metrics.f1 for p in points]
+    assert all(later >= earlier - 0.1 for earlier, later in zip(f1_values, f1_values[1:]))
+    assert f1_values[-1] >= f1_values[0]
+    assert max(f1_values) > 0.5

@@ -1,0 +1,34 @@
+"""Eq. 2-3 — the attacker's optimal click allocation (analytical check)."""
+
+from repro.core.i2i import attack_score_gain, attacked_i2i_score
+from repro.experiments import run_experiment
+
+
+def test_eq3_report(benchmark, emit_report):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("eq3",),
+        kwargs={"click_budget": 12, "existing_co_clicks": 500},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(report.text)
+    assert report.data["best_allocation"] == report.data["expected_allocation"]
+
+
+def test_eq2_score_evaluation_cost(benchmark):
+    """Score evaluation is the injector's hot loop; keep it microseconds."""
+    benchmark(attacked_i2i_score, 5_000, 1, 10, 0)
+
+
+def test_eq3_gain_curve(benchmark, emit_report):
+    def gain_curve():
+        return [attack_score_gain(1_000, budget) for budget in range(2, 30)]
+
+    curve = benchmark(gain_curve)
+    assert all(a <= b for a, b in zip(curve, curve[1:]))
+    emit_report(
+        "Eq. 3 gain curve (budget 2..29, existing=1000): "
+        + ", ".join(f"{v:.4f}" for v in curve[:8])
+        + " ..."
+    )

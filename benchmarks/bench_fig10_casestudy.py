@@ -1,0 +1,32 @@
+"""Fig. 10 — the end-to-end case study (attack, exposure lift, detection,
+cleanup, traffic timeline)."""
+
+from repro.experiments import run_experiment
+from repro.recsys import TrafficModel, simulate_case_study
+
+
+def test_fig10_case_study(benchmark, emit_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig10",), rounds=1, iterations=1
+    )
+    emit_report(report.text)
+    impact = report.data["impact"]
+    timeline = report.data["timeline"]
+    workers, targets = report.data["group_size"]
+    # Paper narrative checks, in order:
+    # 1. the attack lifts the targets' exposure...
+    assert impact.mean_score_after > impact.mean_score_before
+    assert impact.targets_in_top_k_after >= impact.targets_in_top_k_before
+    # 2. ...RICD catches the group (28 accounts, 11 targets)...
+    assert report.data["caught_workers"] >= 0.8 * workers
+    assert report.data["caught_targets"] >= 0.8 * targets
+    # 3. ...organic traffic peaks between campaign start and detection...
+    model = TrafficModel()
+    assert model.campaign_day <= timeline.peak_organic_day() < model.detection_day
+    # 4. ...and delisting zeroes the traffic.
+    assert timeline.total_traffic[-1] == 0.0
+
+
+def test_fig10_traffic_simulation_cost(benchmark):
+    """The day-loop itself is micro-benchmarked (used in dashboards)."""
+    benchmark(simulate_case_study, TrafficModel(seed=1))

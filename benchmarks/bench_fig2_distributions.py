@@ -1,0 +1,43 @@
+"""Fig. 2 — the heavy-tailed click distributions."""
+
+import numpy as np
+
+from repro.datagen.distributions import pareto_share
+from repro.eval.reporting import render_table
+from repro.graph import click_histogram
+
+
+def test_fig2a_item_distribution(benchmark, scenario, emit_report):
+    bins = benchmark(click_histogram, scenario.graph, "item")
+    emit_report(
+        render_table(
+            ["total clicks", "items"],
+            [[f"[{low}, {high})", count] for low, high, count in bins],
+            title="Fig. 2a — distribution of items' clicks",
+        )
+    )
+    counts = [count for _l, _h, count in bins if count]
+    # Heavy tail: spans many bins, most mass early.
+    assert len(bins) >= 6
+    assert counts[0] + counts[1] > counts[-1]
+
+
+def test_fig2b_user_distribution(benchmark, scenario, emit_report):
+    bins = benchmark(click_histogram, scenario.graph, "user")
+    emit_report(
+        render_table(
+            ["total clicks", "users"],
+            [[f"[{low}, {high})", count] for low, high, count in bins],
+            title="Fig. 2b — distribution of users' clicks",
+        )
+    )
+    assert len(bins) >= 4
+
+
+def test_fig2_pareto_share(benchmark, scenario, emit_report):
+    totals = np.array(
+        [scenario.graph.item_total_clicks(i) for i in scenario.graph.items()]
+    )
+    share = benchmark(pareto_share, totals, 0.8)
+    emit_report(f"Share of items covering 80% of clicks: {share * 100:.1f}%")
+    assert share < 0.25  # Pareto-principle shape (Section IV-A)

@@ -1,0 +1,55 @@
+"""Fig. 9 — parameter sensitivity sweeps (k1, k2, alpha, T_click, T_hot)."""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core.thresholds import pareto_hot_threshold, t_click_from_graph
+from repro.eval.reporting import render_series
+from repro.eval.sweeps import sensitivity_sweep
+from repro.experiments.fig9 import sweep_grid
+
+
+@pytest.fixture(scope="module")
+def base_params(scenario):
+    return RICDParams(
+        t_hot=float(pareto_hot_threshold(scenario.graph)),
+        t_click=float(t_click_from_graph(scenario.graph)),
+    )
+
+
+@pytest.fixture(scope="module")
+def grids(scenario, base_params):
+    return sweep_grid(base_params.t_hot)
+
+
+@pytest.mark.parametrize("parameter", ["k1", "k2", "alpha", "t_click", "t_hot"])
+def test_fig9_sweep(benchmark, scenario, known_labels, base_params, grids, parameter, emit_report):
+    points = benchmark.pedantic(
+        sensitivity_sweep,
+        args=(scenario, parameter, grids[parameter]),
+        kwargs={"base_params": base_params, "known": known_labels},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        render_series(
+            parameter,
+            [p.value for p in points],
+            {
+                "precision": [p.exact.precision for p in points],
+                "recall": [p.exact.recall for p in points],
+                "F1": [p.exact.f1 for p in points],
+            },
+            title=f"Fig. 9 — sensitivity to {parameter}",
+        )
+    )
+    recalls = [p.exact.recall for p in points]
+    if parameter in ("k1", "k2", "t_click"):
+        # Paper: monotone effects — tightening the parameter lowers recall.
+        assert recalls[0] >= recalls[-1]
+        assert all(a >= b - 0.05 for a, b in zip(recalls, recalls[1:]))
+    elif parameter == "alpha":
+        # Stricter extension tolerance also lowers recall.
+        assert recalls[0] >= recalls[-1]
+    else:  # t_hot — "the only exception": non-monotonic recall
+        assert max(recalls) >= recalls[0]

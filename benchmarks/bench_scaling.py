@@ -1,0 +1,77 @@
+"""Scalability: detection cost as the marketplace grows.
+
+Section V-D bounds Algorithm 3 at ``O((|U|+|V|)(|V||U| + 1) + |E|)`` worst
+case; on realistic graphs the pruning cascade removes most vertices before
+the quadratic term can bite, and the sparse engine's Gram products are
+near-linear in surviving edges.  This bench records the trend over 0.5x /
+1x / 2x marketplaces for both engines.
+"""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core.extraction import extract_groups
+from repro.core.extraction_sparse import extract_groups_sparse, sparse_available
+from repro.datagen import AttackConfig, MarketplaceConfig, generate_scenario
+
+PARAMS = RICDParams(k1=10, k2=10, alpha=1.0)
+
+SCALES = {
+    "0.5x": (10_000, 2_000, 6, 175),
+    "1x": (20_000, 4_000, 12, 350),
+    "2x": (40_000, 8_000, 24, 700),
+}
+
+
+def _scenario(scale: str):
+    n_users, n_items, n_cohorts, n_superfans = SCALES[scale]
+    marketplace = MarketplaceConfig(
+        n_users=n_users,
+        n_items=n_items,
+        n_cohorts=n_cohorts,
+        n_superfans=n_superfans,
+        n_swarms=max(1, n_cohorts // 2),
+        seed=31,
+    )
+    attacks = AttackConfig(n_groups=max(2, n_cohorts // 2), seed=32)
+    return generate_scenario(marketplace, attacks)
+
+
+@pytest.fixture(scope="module")
+def scaled_scenarios():
+    return {scale: _scenario(scale) for scale in SCALES}
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_scaling_reference_engine(benchmark, scaled_scenarios, scale):
+    graph = scaled_scenarios[scale].graph
+    benchmark.pedantic(extract_groups, args=(graph, PARAMS), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_scaling_sparse_engine(benchmark, scaled_scenarios, scale):
+    if not sparse_available():
+        pytest.skip("scipy not installed")
+    graph = scaled_scenarios[scale].graph
+    benchmark.pedantic(
+        extract_groups_sparse, args=(graph, PARAMS), rounds=1, iterations=1
+    )
+
+
+def test_scaling_report(benchmark, scaled_scenarios, emit_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    import time
+
+    lines = ["Scaling — extraction wall-clock by marketplace size:"]
+    for scale, scenario in scaled_scenarios.items():
+        graph = scenario.graph
+        start = time.perf_counter()
+        extract_groups_sparse(graph, PARAMS) if sparse_available() else extract_groups(
+            graph, PARAMS
+        )
+        elapsed = time.perf_counter() - start
+        lines.append(
+            f"  {scale:>4}: {graph.num_users:,} users / {graph.num_edges:,} edges "
+            f"-> {elapsed * 1000:.0f} ms"
+        )
+    emit_report("\n".join(lines))

@@ -1,0 +1,68 @@
+"""Tables I & II — data scale and click statistics.
+
+Regenerates both tables on the shared scenario and benchmarks the
+statistics computations themselves (they run on every detection call that
+derives thresholds, so their cost matters).
+"""
+
+from repro.eval.reporting import format_float, render_table
+from repro.experiments.table1_2 import PAPER_ITEM_STATS, PAPER_USER_STATS
+from repro.graph import graph_scale, side_stats
+
+
+def test_table1_scale(benchmark, scenario, emit_report):
+    scale = benchmark(graph_scale, scenario.graph)
+    emit_report(
+        render_table(
+            ["User", "Item", "Edge", "Total_click"],
+            [[f"{v:,}" for v in scale.as_row()]],
+            title="Table I — data scale (ours, ~1/1000 of the paper)",
+        )
+    )
+    assert scale.users >= 20_000
+    assert scale.edges >= 80_000
+
+
+def test_table2_user_stats(benchmark, scenario, emit_report):
+    stats = benchmark(side_stats, scenario.graph, "user")
+    emit_report(
+        render_table(
+            ["side", "source", "Avg_clk", "Avg_cnt", "Stdev"],
+            [
+                ["User", "paper", *(format_float(v, 2) for v in PAPER_USER_STATS.values())],
+                [
+                    "User",
+                    "ours",
+                    format_float(stats.avg_clk, 2),
+                    format_float(stats.avg_cnt, 2),
+                    format_float(stats.stdev, 2),
+                ],
+            ],
+            title="Table II (user side)",
+        )
+    )
+    # Paper shape: mean clicks per user ~11, mean distinct items ~4.3.
+    assert 10.0 <= stats.avg_clk <= 16.0
+    assert 3.5 <= stats.avg_cnt <= 6.0
+
+
+def test_table2_item_stats(benchmark, scenario, emit_report):
+    stats = benchmark(side_stats, scenario.graph, "item")
+    emit_report(
+        render_table(
+            ["side", "source", "Avg_clk", "Avg_cnt", "Stdev"],
+            [
+                ["Item", "paper", *(format_float(v, 2) for v in PAPER_ITEM_STATS.values())],
+                [
+                    "Item",
+                    "ours",
+                    format_float(stats.avg_clk, 2),
+                    format_float(stats.avg_cnt, 2),
+                    format_float(stats.stdev, 2),
+                ],
+            ],
+            title="Table II (item side)",
+        )
+    )
+    # Paper shape: item stdev is an order of magnitude above the mean.
+    assert stats.stdev > 5 * stats.avg_clk

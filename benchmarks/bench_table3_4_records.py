@@ -1,0 +1,20 @@
+"""Tables III & IV — suspect vs ordinary click records."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3_4_records(benchmark, emit_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("table3_4",), rounds=1, iterations=1
+    )
+    emit_report(report.text)
+    suspect = report.data["suspect_rows"]
+    normal = report.data["normal_rows"]
+    # Table III signature: a heavy (>= 12) click on an ordinary item.
+    assert any(row[1] >= 12 and row[3] == 0 for row in suspect)
+    # Table III signature: hot items clicked only lightly (< 4 on average).
+    suspect_hot = [row[1] for row in suspect if row[3] == 1]
+    assert not suspect_hot or sum(suspect_hot) / len(suspect_hot) < 4
+    # Table IV signature: the normal user's heaviest engagement is hot.
+    heaviest = max(normal, key=lambda row: row[1])
+    assert heaviest[3] == 1

@@ -1,0 +1,28 @@
+"""Table V — suspicious vs normal item click profiles."""
+
+from repro.experiments import run_experiment
+from repro.graph import item_click_profile
+
+
+def test_table5_contrast(benchmark, emit_report):
+    report = benchmark.pedantic(
+        run_experiment, args=("table5",), rounds=1, iterations=1
+    )
+    emit_report(report.text)
+    suspicious = report.data["suspicious"]["profile"]
+    normal = report.data["normal"]["profile"]
+    # Paper shape at matched volume: fewer distinct users, higher per-user
+    # mean/stdev/max, and a larger abnormal-user share.
+    assert suspicious.user_num < normal.user_num
+    assert suspicious.mean > normal.mean
+    assert suspicious.max_clicks > normal.max_clicks
+    assert (
+        report.data["suspicious"]["abnormal_share"]
+        > report.data["normal"]["abnormal_share"]
+    )
+
+
+def test_item_profile_cost(benchmark, scenario):
+    """Single-item profiling must stay trivially cheap (used in loops)."""
+    item = next(iter(scenario.graph.items()))
+    benchmark(item_click_profile, scenario.graph, item)

@@ -1,0 +1,66 @@
+"""Table VI — the screening-module ablation (RICD-UI / RICD-I / RICD)."""
+
+import pytest
+
+from repro.core.framework import (
+    VARIANT_FULL,
+    VARIANT_NO_ITEM,
+    VARIANT_NO_SCREEN,
+    RICDDetector,
+)
+from repro.eval.harness import evaluate_detector
+from repro.eval.reporting import format_float, render_table
+from repro.experiments.table6 import PAPER_ROWS
+
+VARIANTS = (VARIANT_NO_SCREEN, VARIANT_NO_ITEM, VARIANT_FULL)
+
+
+@pytest.fixture(scope="module")
+def variant_runs(scenario, known_labels):
+    return {
+        variant: evaluate_detector(RICDDetector(variant=variant), scenario, known_labels)
+        for variant in VARIANTS
+    }
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_table6_variant_elapsed(benchmark, scenario, variant):
+    detector = RICDDetector(variant=variant)
+    benchmark.pedantic(detector.detect, args=(scenario.graph,), rounds=1, iterations=1)
+
+
+def test_table6_report_and_shape(benchmark, variant_runs, emit_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for variant in VARIANTS:
+        run = variant_runs[variant]
+        paper = PAPER_ROWS[run.name]
+        rows.append(
+            [
+                run.name,
+                format_float(run.known.precision),
+                format_float(run.known.recall),
+                format_float(run.known.f1),
+                format_float(run.exact.precision),
+                format_float(run.exact.recall),
+                format_float(run.exact.f1),
+                "/".join(format_float(v, 2) for v in paper),
+            ]
+        )
+    emit_report(
+        render_table(
+            ["variant", "P(kn)", "R(kn)", "F1(kn)", "P", "R", "F1", "paper P/R/F1"],
+            rows,
+            title="Table VI — effectiveness of suspicious group screening",
+        )
+    )
+    ui = variant_runs[VARIANT_NO_SCREEN]
+    i_only = variant_runs[VARIANT_NO_ITEM]
+    full = variant_runs[VARIANT_FULL]
+    # Paper shape: precision strictly climbs as screening steps are added...
+    assert ui.exact.precision < i_only.exact.precision < full.exact.precision
+    assert ui.known.precision < i_only.known.precision < full.known.precision
+    # ...recall pays for it...
+    assert full.exact.recall <= ui.exact.recall
+    # ...and the full framework wins F1.
+    assert full.exact.f1 == max(r.exact.f1 for r in variant_runs.values())

@@ -1,0 +1,45 @@
+"""Grid-search tuning: what a platform with labelled incidents would run.
+
+Sweeps a small (k1, alpha) grid at integration scale and reports the
+winner; the exhaustive table doubles as a coarse sensitivity map.
+"""
+
+from repro.config import RICDParams
+from repro.datagen import small_scenario
+from repro.eval.reporting import format_float, render_table
+from repro.eval.tuning import grid_search
+
+
+def test_grid_search(benchmark, emit_report):
+    scenario = small_scenario(seed=0)
+    result = benchmark.pedantic(
+        grid_search,
+        args=(scenario,),
+        kwargs={
+            "grid": {"k1": [4, 5, 8], "alpha": [0.8, 1.0]},
+            "base_params": RICDParams(k1=5, k2=5),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        render_table(
+            ["k1", "alpha", "P", "R", "F1"],
+            [
+                [
+                    point.params.k1,
+                    format_float(point.params.alpha, 1),
+                    format_float(point.metrics.precision),
+                    format_float(point.metrics.recall),
+                    format_float(point.metrics.f1),
+                ]
+                for point in result.top(len(result.points))
+            ],
+            title=(
+                "Grid search (integration scale) — best: "
+                f"k1={result.best_params.k1}, alpha={result.best_params.alpha}"
+            ),
+        )
+    )
+    assert len(result.points) == 6
+    assert result.best.metrics.f1 >= max(p.metrics.f1 for p in result.points) - 1e-12

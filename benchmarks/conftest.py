@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+All quality/timing benchmarks run on one cached paper-scale scenario
+(20k users / 4k items, eight injected attack groups) so numbers are
+comparable across modules.  Every module that regenerates a paper artifact
+prints its report through :func:`emit_report`, which both shows it in the
+run log (``-s``) and appends it to ``benchmarks/reports.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import paper_scenario
+from repro.eval import simulate_known_labels
+
+REPORT_PATH = Path(__file__).parent / "reports.txt"
+
+
+def pytest_sessionstart(session):
+    """Start a fresh report file for each benchmark session."""
+    try:
+        REPORT_PATH.unlink()
+    except FileNotFoundError:
+        pass
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The shared paper-scale scenario (seed 0)."""
+    return paper_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def known_labels(scenario):
+    """The partial label set of the paper's evaluation protocol."""
+    return simulate_known_labels(scenario.graph, scenario.truth, seed=0)
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Callable that records a rendered report (stdout + reports.txt)."""
+
+    def emit(text: str) -> None:
+        print()
+        print(text)
+        with REPORT_PATH.open("a") as handle:
+            handle.write(text)
+            handle.write("\n\n")
+
+    return emit

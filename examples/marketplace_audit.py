@@ -1,0 +1,71 @@
+"""Marketplace audit: load a click table from disk and compare detectors.
+
+Demonstrates the file-based workflow a platform team would actually use:
+
+1. export a click table (``User_ID, Item_ID, Click`` CSV) — here we
+   synthesise one and write it to a temp directory;
+2. load it back with :func:`repro.read_click_table`;
+3. derive the thresholds from the data (Pareto rule, Eq. 4);
+4. run the paper's full detector line-up and print the comparison.
+
+Run:  python examples/marketplace_audit.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import paper_scenario, read_click_table, write_click_table
+from repro.analysis import marketplace_report
+from repro.core.thresholds import pareto_hot_threshold, t_click_from_graph
+from repro.eval import default_detector_suite, run_suite
+from repro.eval.reporting import format_float, render_table
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="ricd_audit_"))
+    table_path = workdir / "taobao_ui_clicks.csv"
+
+    print("Exporting a synthetic TaoBao_UI_Clicks table...")
+    scenario = paper_scenario(seed=7)
+    records = write_click_table(scenario.graph, table_path)
+    print(f"  wrote {records:,} click records to {table_path}")
+
+    print("\nLoading the click table back from disk...")
+    graph = read_click_table(table_path)
+    print(f"  {graph!r}")
+
+    t_hot = pareto_hot_threshold(graph)
+    t_click = t_click_from_graph(graph)
+    print(f"  derived thresholds: T_hot={t_hot} (Pareto 80/20), T_click={t_click} (Eq. 4)")
+
+    print("\nSection IV first-pass analysis (rough screen):")
+    print(marketplace_report(graph).render())
+
+    print("\nRunning the paper's detector line-up (RICD + baselines '+UI')...")
+    runs = run_suite(
+        default_detector_suite(copycatch_deadline=3.0),
+        scenario,
+        simulate_labels=False,
+    )
+    rows = [
+        [
+            run.name,
+            format_float(run.exact.precision),
+            format_float(run.exact.recall),
+            format_float(run.exact.f1),
+            format_float(run.elapsed, 2),
+        ]
+        for run in runs
+    ]
+    print()
+    print(
+        render_table(
+            ["method", "precision", "recall", "F1", "elapsed (s)"],
+            rows,
+            title="Audit results (scored against the injected ground truth)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: detect "Ride Item's Coattails" attacks in a click graph.
+
+Generates a synthetic marketplace with injected attacks (the stand-in for
+a production click table), runs the RICD detector with paper-default
+parameters, and prints what it found — including the top-k risk ranking a
+business expert would act on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RICDDetector, paper_scenario
+
+
+def main() -> None:
+    print("Generating a 20k-user marketplace with 8 injected attack groups...")
+    scenario = paper_scenario(seed=0)
+    graph = scenario.graph
+    print(f"  {graph!r}")
+
+    print("\nRunning RICD (k1=10, k2=10, alpha=1.0, data-derived thresholds)...")
+    detector = RICDDetector()
+    result = detector.detect(graph)
+    print(f"  found {len(result.groups)} attack groups in {result.elapsed:.2f}s")
+    print(
+        f"  {len(result.suspicious_users)} suspicious accounts, "
+        f"{len(result.suspicious_items)} suspicious target items"
+    )
+
+    # How good was that? (Possible only because the scenario carries exact
+    # injected ground truth — production use has no such luxury.)
+    truth = scenario.truth
+    true_hits = len(result.suspicious_users & truth.abnormal_users) + len(
+        result.suspicious_items & truth.abnormal_items
+    )
+    output_size = len(result.suspicious_users) + len(result.suspicious_items)
+    print(
+        f"  precision {true_hits / output_size:.2f} over "
+        f"{output_size} flagged nodes (exact ground truth)"
+    )
+
+    print("\nTop-5 riskiest accounts (risk = #suspicious items clicked):")
+    for user, score in result.top_users(5):
+        tag = "worker" if user in truth.abnormal_users else "organic"
+        print(f"  {user:>12}  risk={score:.0f}  [{tag}]")
+
+    print("\nTop-5 riskiest items (risk = mean clicker risk):")
+    for item, score in result.top_items(5):
+        tag = "target" if item in truth.abnormal_items else "organic"
+        print(f"  {item:>12}  risk={score:.2f}  [{tag}]")
+
+    print("\nPer-group breakdown:")
+    for index, group in enumerate(result.groups):
+        workers = len(group.users & truth.abnormal_users)
+        print(
+            f"  group {index}: {len(group.users)} accounts "
+            f"({workers} true workers), {len(group.items)} target items, "
+            f"riding {len(group.hot_items)} hot item(s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "Large-scale Fake Click Detection for E-commerce
+Recommendation Systems" (ICDE 2021).
+
+The package implements the RICD ("Ride Item's Coattails" Detection)
+framework and everything around it:
+
+* :mod:`repro.graph` — the weighted user-item bipartite click graph;
+* :mod:`repro.datagen` — the synthetic marketplace + attack injector that
+  substitutes for the proprietary Taobao click table;
+* :mod:`repro.core` — thresholds, the I2I score model, Algorithm 1,
+  Algorithm 3, screening, identification, and the assembled
+  :class:`~repro.core.framework.RICDDetector`;
+* :mod:`repro.baselines` — LPA, CN, Louvain, COPYCATCH, FRAUDAR, Naive and
+  the "+UI" screening wrapper;
+* :mod:`repro.recsys` — a working I2I recommender to demonstrate the
+  attack and its cleanup end to end;
+* :mod:`repro.eval` — metrics, the paper's partial-label protocol, the
+  comparison harness and sensitivity sweeps;
+* :mod:`repro.experiments` — one runnable module per paper table/figure.
+
+Quickstart
+----------
+>>> from repro import RICDDetector, paper_scenario
+>>> scenario = paper_scenario()
+>>> result = RICDDetector().detect(scenario.graph)
+>>> result.suspicious_users & scenario.truth.abnormal_users  # doctest: +SKIP
+{...}
+"""
+
+from .config import DEFAULT_PARAMS, FeedbackPolicy, RICDParams, ScreeningParams
+from .core import (
+    DetectionResult,
+    RICDDetector,
+    SuspiciousGroup,
+    naive_detect,
+)
+from .datagen import (
+    AttackConfig,
+    GroundTruth,
+    MarketplaceConfig,
+    Scenario,
+    generate_scenario,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from .errors import ReproError
+from .graph import BipartiteGraph, read_click_table, write_click_table
+from .recsys import I2IRecommender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RICDDetector",
+    "DetectionResult",
+    "SuspiciousGroup",
+    "naive_detect",
+    "RICDParams",
+    "ScreeningParams",
+    "FeedbackPolicy",
+    "DEFAULT_PARAMS",
+    "BipartiteGraph",
+    "read_click_table",
+    "write_click_table",
+    "MarketplaceConfig",
+    "AttackConfig",
+    "Scenario",
+    "GroundTruth",
+    "generate_scenario",
+    "paper_scenario",
+    "small_scenario",
+    "tiny_scenario",
+    "I2IRecommender",
+    "ReproError",
+]

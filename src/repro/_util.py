@@ -1,0 +1,73 @@
+"""Small internal helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+
+__all__ = ["ceil_frac", "Stopwatch", "stopwatch"]
+
+
+def ceil_frac(alpha: float, k: int) -> int:
+    """Return ``ceil(alpha * k)`` guarded against float noise.
+
+    Plain ``math.ceil(0.7 * 10)`` yields 8 because ``0.7 * 10`` is
+    ``7.000000000000001`` in binary floating point, while the paper's
+    ``ceil(alpha x k)`` clearly intends 7.  We round to nine decimal places
+    before taking the ceiling, which is far below any meaningful alpha
+    resolution but above accumulated binary error.
+
+    >>> ceil_frac(0.7, 10)
+    7
+    >>> ceil_frac(0.75, 10)
+    8
+    >>> ceil_frac(1.0, 10)
+    10
+    """
+    return math.ceil(round(alpha * k, 9))
+
+
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("phase"):
+    ...     pass
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.durations: dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the elapsed time of the block to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Sum of all recorded durations, in seconds."""
+        return sum(self.durations.values())
+
+
+@contextmanager
+def stopwatch():
+    """Yield a single-cell list that receives the elapsed seconds on exit.
+
+    >>> with stopwatch() as cell:
+    ...     pass
+    >>> cell[0] >= 0.0
+    True
+    """
+    cell = [0.0]
+    start = time.perf_counter()
+    try:
+        yield cell
+    finally:
+        cell[0] = time.perf_counter() - start

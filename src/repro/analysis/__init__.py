@@ -1,0 +1,29 @@
+"""Behavioural analysis — Section IV of the paper as a reusable library.
+
+The paper's attack analysis profiles users and items against the derived
+thresholds: a crowd worker shows heavy clicks on a few ordinary items,
+barely touches hot items, and spreads small disguise clicks; an attacked
+item concentrates its volume in few accounts.  This subpackage packages
+those profiles (:mod:`repro.analysis.profiles`) and a whole-marketplace
+report (:mod:`repro.analysis.report`) the experiment modules and example
+scripts build on.
+"""
+
+from .profiles import (
+    ItemProfile,
+    UserProfile,
+    classify_user,
+    item_profile,
+    user_profile,
+)
+from .report import MarketplaceReport, marketplace_report
+
+__all__ = [
+    "UserProfile",
+    "ItemProfile",
+    "user_profile",
+    "item_profile",
+    "classify_user",
+    "MarketplaceReport",
+    "marketplace_report",
+]

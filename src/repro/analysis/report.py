@@ -1,0 +1,103 @@
+"""Whole-marketplace behavioural report — the Section IV pipeline.
+
+Runs the paper's first-pass analysis over a click graph: derive the
+thresholds, count the "rough screen" populations (the paper lands on
+">= 7% of all users" and ">= 15% of all items" before concluding a more
+systematic approach is needed — motivating RICD), and triage users with
+:func:`repro.analysis.profiles.classify_user`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core.thresholds import pareto_hot_threshold, t_click_from_graph
+from ..eval.reporting import format_float, render_table
+from ..graph.bipartite import BipartiteGraph
+from .profiles import NORMAL, SUPERFAN_LIKE, WORKER_LIKE, classify_user, user_profile
+
+__all__ = ["MarketplaceReport", "marketplace_report"]
+
+Node = Hashable
+
+
+@dataclass
+class MarketplaceReport:
+    """The Section IV analysis summary for one click graph.
+
+    Attributes
+    ----------
+    t_hot, t_click:
+        The derived thresholds.
+    n_users, n_items, n_hot_items:
+        Population sizes.
+    triage_counts:
+        ``{"worker-like": n, "superfan-like": n, "normal": n}``.
+    worker_like_users:
+        The triaged worker-like accounts (the paper's "rough screen"
+        population — over-inclusive by design).
+    """
+
+    t_hot: float
+    t_click: float
+    n_users: int
+    n_items: int
+    n_hot_items: int
+    triage_counts: dict[str, int] = field(default_factory=dict)
+    worker_like_users: set[Node] = field(default_factory=set)
+
+    @property
+    def suspicious_user_share(self) -> float:
+        """Share of users the rough screen flags (paper: >= 7%)."""
+        if not self.n_users:
+            return 0.0
+        return len(self.worker_like_users) / self.n_users
+
+    def render(self) -> str:
+        """Fixed-width summary table."""
+        rows = [
+            ["users", f"{self.n_users:,}"],
+            ["items", f"{self.n_items:,}"],
+            ["hot items (>= T_hot)", f"{self.n_hot_items:,}"],
+            ["T_hot", format_float(self.t_hot, 0)],
+            ["T_click", format_float(self.t_click, 0)],
+            [WORKER_LIKE, f"{self.triage_counts.get(WORKER_LIKE, 0):,}"],
+            [SUPERFAN_LIKE, f"{self.triage_counts.get(SUPERFAN_LIKE, 0):,}"],
+            [NORMAL, f"{self.triage_counts.get(NORMAL, 0):,}"],
+            [
+                "rough-screen share",
+                f"{self.suspicious_user_share * 100:.2f}% of users",
+            ],
+        ]
+        return render_table(
+            ["metric", "value"], rows, title="Section IV marketplace analysis"
+        )
+
+
+def marketplace_report(graph: BipartiteGraph) -> MarketplaceReport:
+    """Run the Section IV first-pass analysis over ``graph``.
+
+    Cost is one pass over users plus the threshold derivations — linear in
+    edges, usable as a monitoring job.
+    """
+    t_hot = float(pareto_hot_threshold(graph))
+    t_click = float(t_click_from_graph(graph))
+    n_hot = sum(
+        1 for item in graph.items() if graph.item_total_clicks(item) >= t_hot
+    )
+    report = MarketplaceReport(
+        t_hot=t_hot,
+        t_click=t_click,
+        n_users=graph.num_users,
+        n_items=graph.num_items,
+        n_hot_items=n_hot,
+        triage_counts={WORKER_LIKE: 0, SUPERFAN_LIKE: 0, NORMAL: 0},
+    )
+    for user in graph.users():
+        profile = user_profile(graph, user, t_hot, t_click)
+        verdict = classify_user(profile, t_click)
+        report.triage_counts[verdict] += 1
+        if verdict == WORKER_LIKE:
+            report.worker_like_users.add(user)
+    return report

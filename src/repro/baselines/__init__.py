@@ -1,0 +1,30 @@
+"""Baseline detectors of Section VI-A.
+
+Every baseline implements the same :class:`~repro.baselines.base.Detector`
+protocol as the RICD framework and returns the same
+:class:`~repro.core.groups.DetectionResult`, so the evaluation harness and
+the "+UI" screening wrapper treat them uniformly.  The paper's comparison
+protocol wraps *all* baselines with the screening module ("for the sake of
+fairness, we add the suspicious group screening module to all baselines")
+— that wrapper is :class:`~repro.baselines.screening_wrapper.WithScreening`.
+"""
+
+from .base import Detector
+from .common_neighbors import CommonNeighborsDetector
+from .copycatch import CopyCatchDetector
+from .fraudar import FraudarDetector
+from .louvain import LouvainDetector
+from .lpa import LabelPropagationDetector
+from .naive_adapter import NaiveDetector
+from .screening_wrapper import WithScreening
+
+__all__ = [
+    "Detector",
+    "LabelPropagationDetector",
+    "CommonNeighborsDetector",
+    "LouvainDetector",
+    "CopyCatchDetector",
+    "FraudarDetector",
+    "NaiveDetector",
+    "WithScreening",
+]

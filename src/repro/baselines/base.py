@@ -1,0 +1,50 @@
+"""The detector protocol shared by RICD and every baseline."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core.groups import DetectionResult, SuspiciousGroup
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["Detector", "groups_from_communities"]
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Anything with a ``name`` and a ``detect(graph) -> DetectionResult``.
+
+    :class:`~repro.core.framework.RICDDetector`, every baseline in this
+    subpackage and the :class:`~repro.baselines.screening_wrapper.WithScreening`
+    wrapper all satisfy this protocol, which is what the evaluation
+    harness iterates over.
+    """
+
+    @property
+    def name(self) -> str:
+        """Display name used in reports (e.g. ``"LPA+UI"``)."""
+        ...
+
+    def detect(self, graph: BipartiteGraph) -> DetectionResult:
+        """Run detection on ``graph`` and return the standard result."""
+        ...
+
+
+def groups_from_communities(
+    communities: list[tuple[set, set]],
+    min_users: int,
+    min_items: int,
+) -> list[SuspiciousGroup]:
+    """Convert ``(user_set, item_set)`` communities into suspicious groups.
+
+    Communities "that do not include enough users and items (less than k1
+    and k2)" are filtered out — the paper's protocol for adapting
+    community detectors to the attack-detection task.
+    """
+    groups = [
+        SuspiciousGroup(users=set(users), items=set(items))
+        for users, items in communities
+        if len(users) >= min_users and len(items) >= min_items
+    ]
+    groups.sort(key=lambda g: (-g.size, min((str(u) for u in g.users), default="")))
+    return groups

@@ -1,0 +1,122 @@
+"""Label Propagation (LPA) baseline — Raghavan et al. [18].
+
+The paper's configuration: every node starts with a unique label and up to
+``max_round = 20`` asynchronous rounds propagate labels; each node adopts
+the label carrying the largest total click weight among its neighbours.
+Resulting communities (user-and-item label groups) that clear the
+``k1``/``k2`` size floors become suspicious groups.
+
+LPA is the paper's recall champion among baselines: attack bicliques are
+internally denser than their surroundings, so their labels converge, but
+so do organic cohorts' — hence the low precision before screening.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable
+
+from .._util import stopwatch
+from ..core.groups import DetectionResult
+from ..core.identification import score_groups
+from ..graph.bipartite import BipartiteGraph
+from .base import groups_from_communities
+
+__all__ = ["LabelPropagationDetector", "propagate_labels"]
+
+Node = Hashable
+
+
+def propagate_labels(
+    graph: BipartiteGraph, max_round: int = 20, seed: int = 0
+) -> dict[tuple[str, Node], int]:
+    """Run weighted asynchronous LPA; returns ``{(side, node): label}``.
+
+    Nodes are keyed by ``(side, node)`` because the two partitions have
+    independent id namespaces.  Labels are arbitrary integers; equality
+    means same community.
+    """
+    if max_round < 0:
+        raise ValueError(f"max_round must be >= 0, got {max_round}")
+    rng = random.Random(seed)
+    labels: dict[tuple[str, Node], int] = {}
+    order: list[tuple[str, Node]] = [("user", u) for u in graph.users()]
+    order += [("item", i) for i in graph.items()]
+    order.sort(key=lambda key: (key[0], str(key[1])))  # deterministic base order
+    for index, key in enumerate(order):
+        labels[key] = index
+
+    for _round in range(max_round):
+        rng.shuffle(order)
+        changed = False
+        for side, node in order:
+            if side == "user":
+                neighbor_weights = (
+                    (("item", item), clicks)
+                    for item, clicks in graph.user_neighbors(node).items()
+                )
+            else:
+                neighbor_weights = (
+                    (("user", user), clicks)
+                    for user, clicks in graph.item_neighbors(node).items()
+                )
+            tally: dict[int, int] = {}
+            for neighbor_key, weight in neighbor_weights:
+                label = labels[neighbor_key]
+                tally[label] = tally.get(label, 0) + weight
+            if not tally:
+                continue
+            best_weight = max(tally.values())
+            # Break ties deterministically by label id for reproducibility.
+            best_label = min(label for label, w in tally.items() if w == best_weight)
+            if labels[(side, node)] != best_label:
+                labels[(side, node)] = best_label
+                changed = True
+        if not changed:
+            break
+    return labels
+
+
+@dataclass
+class LabelPropagationDetector:
+    """LPA adapted to attack detection per the paper's protocol.
+
+    Parameters
+    ----------
+    max_round:
+        Propagation rounds (paper default 20).
+    min_users, min_items:
+        Community size floors, "consistent with the k1, k2 in RICD".
+    seed:
+        Shuffle seed for the asynchronous update order.
+    """
+
+    max_round: int = 20
+    min_users: int = 10
+    min_items: int = 10
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "LPA"
+
+    def detect(self, graph: BipartiteGraph) -> DetectionResult:
+        """Group nodes by converged label; emit size-filtered communities."""
+        with stopwatch() as timer:
+            labels = propagate_labels(graph, self.max_round, self.seed)
+            communities: dict[int, tuple[set[Node], set[Node]]] = {}
+            for (side, node), label in labels.items():
+                users, items = communities.setdefault(label, (set(), set()))
+                if side == "user":
+                    users.add(node)
+                else:
+                    items.add(node)
+            groups = groups_from_communities(
+                list(communities.values()), self.min_users, self.min_items
+            )
+            result = DetectionResult.from_groups(groups)
+            result.user_scores, result.item_scores = score_groups(graph, groups)
+        result.timings["detection"] = timer[0]
+        return result

@@ -1,0 +1,32 @@
+"""Detector-protocol adapter around Algorithm 1 (the naive detector)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.naive import NaiveParams, naive_detect
+from ..core.groups import DetectionResult
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["NaiveDetector"]
+
+
+@dataclass
+class NaiveDetector:
+    """Algorithm 1 wrapped in the shared :class:`Detector` protocol.
+
+    The naive algorithm already returns a :class:`DetectionResult`; this
+    adapter only adds the ``name`` attribute and parameter storage so the
+    evaluation harness can treat it like every other baseline.
+    """
+
+    params: NaiveParams = field(default_factory=NaiveParams)
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "Naive"
+
+    def detect(self, graph: BipartiteGraph) -> DetectionResult:
+        """Run Algorithm 1."""
+        return naive_detect(graph, self.params)

@@ -1,0 +1,81 @@
+"""The "+UI" wrapper: append the screening module to any detector.
+
+Section VI-B: "Because all baselines do not have [a] suspicious group
+screening module, for the sake of fairness, we add the suspicious group
+screening module to all baselines" — communities/blocks below the
+``k1``/``k2`` floors are dropped, then the user behaviour check and item
+behaviour verification run on every remaining group.
+
+:class:`WithScreening` implements exactly that, for anything satisfying
+the :class:`~repro.baselines.base.Detector` protocol.  Timings are kept
+separate (``detection`` from the inner detector, ``screening`` from the
+wrapper) so Fig. 8b's detection-vs-UI split is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import stopwatch
+from ..config import ScreeningParams
+from ..core.groups import DetectionResult
+from ..core.identification import assemble_result
+from ..core.screening import screen_groups
+from ..core.thresholds import pareto_hot_threshold, t_click_from_graph
+from ..graph.bipartite import BipartiteGraph
+from .base import Detector
+
+__all__ = ["WithScreening"]
+
+
+@dataclass
+class WithScreening:
+    """Wrap ``inner`` so its groups pass through the RICD screening module.
+
+    Parameters
+    ----------
+    inner:
+        Any detector producing grouped output.
+    screening:
+        Screening parameters.
+    t_hot, t_click:
+        Behavioural thresholds; ``None`` derives them from the input graph
+        (Pareto rule / Eq. 4), matching the RICD configuration.
+    min_users, min_items:
+        Group-size floors applied before screening ("filter out
+        communities that do not include enough users and items").
+    """
+
+    inner: Detector
+    screening: ScreeningParams = field(default_factory=ScreeningParams)
+    t_hot: float | None = None
+    t_click: float | None = None
+    min_users: int = 10
+    min_items: int = 10
+
+    @property
+    def name(self) -> str:
+        """Inner detector's name with the paper's "+UI" suffix."""
+        return f"{self.inner.name}+UI"
+
+    def detect(self, graph: BipartiteGraph) -> DetectionResult:
+        """Run the inner detector, then screen its groups."""
+        inner_result = self.inner.detect(graph)
+        with stopwatch() as timer:
+            t_hot = self.t_hot if self.t_hot is not None else pareto_hot_threshold(graph)
+            t_click = (
+                self.t_click if self.t_click is not None else t_click_from_graph(graph)
+            )
+            eligible = [
+                group
+                for group in inner_result.groups
+                if len(group.users) >= self.min_users
+                and len(group.items) >= self.min_items
+            ]
+            screened = screen_groups(
+                graph, eligible, t_hot=t_hot, t_click=t_click, params=self.screening
+            )
+            result = assemble_result(graph, screened)
+        result.timings = dict(inner_result.timings)
+        result.timings["screening"] = result.timings.get("screening", 0.0) + timer[0]
+        return result

@@ -1,0 +1,196 @@
+"""Parameter objects shared across the RICD framework.
+
+The paper's framework is driven by five interpretable parameters
+(Section VI-C):
+
+``k1``
+    Minimum number of users in the biclique core of a suspicious group
+    (Definition 3).  The paper observes that real crowd workers attack
+    "on a small scale (small k1)".
+``k2``
+    Minimum number of items in the biclique core.  Real attacks are
+    "frequent (large k2)".
+``alpha``
+    Extension tolerance of Definition 2: at least ``alpha * 100%`` of the
+    core nodes must connect to every extension node.  ``alpha = 1.0``
+    degenerates the extension test into full adjacency.
+``t_hot``
+    Hot-item threshold: items with total clicks ``>= t_hot`` are *hot*.
+    Derived from the Pareto 80/20 rule on the click distribution
+    (Section IV-A, first step).
+``t_click``
+    Abnormal click threshold: a user clicking an *ordinary* item
+    ``>= t_click`` times is an abnormal click record (Eq. 4).
+
+All parameter containers are frozen dataclasses: the feedback loop
+(Fig. 7) produces *new* parameter objects rather than mutating shared
+state, which keeps concurrent sweeps safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ._util import ceil_frac
+from .errors import ConfigError
+
+__all__ = [
+    "RICDParams",
+    "ScreeningParams",
+    "FeedbackPolicy",
+    "DEFAULT_PARAMS",
+]
+
+
+def _require(condition: bool, message: str, parameter: str) -> None:
+    if not condition:
+        raise ConfigError(message, parameter=parameter)
+
+
+@dataclass(frozen=True)
+class RICDParams:
+    """Parameters of the suspicious-group detection module (Algorithm 3).
+
+    Parameters
+    ----------
+    k1:
+        Minimum user-side core size, ``k1 >= 1``.
+    k2:
+        Minimum item-side core size, ``k2 >= 1``.
+    alpha:
+        Extension tolerance in ``(0, 1]``.
+    t_hot:
+        Hot item threshold (total clicks); ``None`` means "derive from the
+        data with the Pareto rule" (see :func:`repro.core.thresholds.pareto_hot_threshold`).
+    t_click:
+        Abnormal click-count threshold; ``None`` means "derive from the data
+        with Eq. 4" (see :func:`repro.core.thresholds.t_click_threshold`).
+
+    Examples
+    --------
+    >>> RICDParams(k1=10, k2=10, alpha=1.0, t_hot=1000, t_click=12).alpha
+    1.0
+    """
+
+    k1: int = 10
+    k2: int = 10
+    alpha: float = 1.0
+    t_hot: float | None = None
+    t_click: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.k1, int) and self.k1 >= 1, "k1 must be an int >= 1", "k1")
+        _require(isinstance(self.k2, int) and self.k2 >= 1, "k2 must be an int >= 1", "k2")
+        _require(0.0 < self.alpha <= 1.0, "alpha must lie in (0, 1]", "alpha")
+        if self.t_hot is not None:
+            _require(self.t_hot > 0, "t_hot must be positive", "t_hot")
+        if self.t_click is not None:
+            _require(self.t_click > 0, "t_click must be positive", "t_click")
+
+    @property
+    def user_degree_floor(self) -> int:
+        """CorePruning degree floor for users: ``ceil(alpha * k2)`` (Lemma 1)."""
+        return ceil_frac(self.alpha, self.k2)
+
+    @property
+    def item_degree_floor(self) -> int:
+        """CorePruning degree floor for items: ``ceil(alpha * k1)`` (Lemma 1)."""
+        return ceil_frac(self.alpha, self.k1)
+
+    def replace(self, **changes) -> "RICDParams":
+        """Return a copy with ``changes`` applied (validated like a fresh object)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ScreeningParams:
+    """Parameters of the suspicious-group screening module (Section V-B).
+
+    Parameters
+    ----------
+    hot_click_cap:
+        User behaviour check: an attacker's *average* clicks on hot items is
+        "extremely small (< 4)" (Section IV-A conclusion 2).  A user whose
+        mean hot-item clicks is >= this cap looks organic and is removed
+        from the group.
+    disguise_ratio:
+        Item behaviour verification: an edge (u, i) is treated as disguise
+        when the user's clicks on its suspicious target items exceed the
+        clicks on ``i`` by at least this multiplicative factor
+        (the paper's ``C_3^2 >> C_3^1`` condition, Fig. 6).
+    min_overlap:
+        Item behaviour verification: minimum Jaccard overlap of two target
+        items' clicked-user sets for them to be considered co-targeted.
+    min_users:
+        Minimum surviving users for a screened group to be kept.
+    min_items:
+        Minimum surviving suspicious items for a screened group to be kept.
+    """
+
+    hot_click_cap: float = 4.0
+    disguise_ratio: float = 4.0
+    min_overlap: float = 0.5
+    min_users: int = 2
+    min_items: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.hot_click_cap > 0, "hot_click_cap must be positive", "hot_click_cap")
+        _require(self.disguise_ratio >= 1.0, "disguise_ratio must be >= 1", "disguise_ratio")
+        _require(0.0 < self.min_overlap <= 1.0, "min_overlap must lie in (0, 1]", "min_overlap")
+        _require(self.min_users >= 1, "min_users must be >= 1", "min_users")
+        _require(self.min_items >= 1, "min_items must be >= 1", "min_items")
+
+    def replace(self, **changes) -> "ScreeningParams":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class FeedbackPolicy:
+    """Policy of the feedback parameter-adjustment strategy (Fig. 7).
+
+    When the framework output is smaller than the end-user expectation
+    ``T``, the identification module relaxes parameters and re-runs the
+    first two modules.  The paper singles out "decrease ``T_click``" as the
+    canonical relaxation; we also relax ``alpha`` and the group-size floors
+    because they bound recall in the same direction.
+
+    Parameters
+    ----------
+    expectation:
+        Minimum number of (users + items) the end-user expects in the output.
+    max_rounds:
+        Maximum number of relaxation rounds before giving up.
+    t_click_step:
+        Additive decrease applied to ``t_click`` per round (floored at 2).
+    alpha_step:
+        Additive decrease applied to ``alpha`` per round (floored at
+        ``alpha_floor``).
+    alpha_floor:
+        Lowest admissible ``alpha`` during relaxation.
+    shrink_k:
+        Whether to also decrement ``k1``/``k2`` (floored at 2) each round.
+    """
+
+    expectation: int = 1
+    max_rounds: int = 5
+    t_click_step: float = 2.0
+    alpha_step: float = 0.1
+    alpha_floor: float = 0.5
+    shrink_k: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.expectation >= 0, "expectation must be >= 0", "expectation")
+        _require(self.max_rounds >= 0, "max_rounds must be >= 0", "max_rounds")
+        _require(self.t_click_step >= 0, "t_click_step must be >= 0", "t_click_step")
+        _require(self.alpha_step >= 0, "alpha_step must be >= 0", "alpha_step")
+        _require(
+            0.0 < self.alpha_floor <= 1.0, "alpha_floor must lie in (0, 1]", "alpha_floor"
+        )
+
+
+#: Paper defaults (Section VI-B): k1 = k2 = 10, alpha = 1.0, and data-derived
+#: thresholds.  T_hot/T_click are left as ``None`` so each dataset derives its
+#: own values exactly as Section IV prescribes.
+DEFAULT_PARAMS = RICDParams()

@@ -1,0 +1,143 @@
+"""Camouflage restriction — the Zarankiewicz bound of Section V-C.
+
+Desired property (3) of the detection approach: "It can restrict the
+maximum number of false clicks/edges (i.e., an upper bound) that attackers
+can add without being detected."
+
+The argument (end of Section V-C): every ``(alpha, k1, k2)``-extension
+biclique contains a ``k1 x k2`` biclique, so an attacker who wants to stay
+invisible to Algorithm 3 must keep their fake-edge set *K_{k1,k2}-free*.
+The maximum number of edges of a bipartite graph on ``(m, n)`` vertices
+with no ``K_{k1,k2}`` subgraph is the Zarankiewicz number
+``z(m, n; k1, k2)``, bounded above by Kővári-Sós-Turán [24] (Füredi [25]
+tightened the constant).
+
+We use the KST bound in its *counting form*, which is the theorem's own
+proof skeleton and avoids transcription errors in the closed form: a
+``K_{s,t}``-free graph (``s`` on the ``m``-user side, ``t`` on the
+``n``-item side) satisfies
+
+.. math::  \\sum_{u} \\binom{d_u}{t} \\le (s - 1) \\binom{n}{t},
+
+and by convexity the left side is at least ``m \\binom{e/m}{t}``, so the
+edge count ``e`` is bounded by the largest mean degree satisfying the
+inequality (found numerically).  The bound grows like
+``(s-1)^{1/t} n m^{1-1/t}`` — *sublinear in the account count* — which is
+what makes evasion economically unattractive.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from ..config import RICDParams
+
+__all__ = [
+    "kovari_sos_turan_bound",
+    "zarankiewicz_upper_bound",
+    "undetected_campaign_bound",
+    "contains_biclique",
+]
+
+
+def _generalized_binomial(x: float, k: int) -> float:
+    """``C(x, k)`` for real ``x >= 0`` (0 when ``x < k - 1`` would go negative)."""
+    product = 1.0
+    for index in range(k):
+        factor = x - index
+        if factor <= 0.0:
+            return 0.0
+        product *= factor / (index + 1)
+    return product
+
+
+def kovari_sos_turan_bound(m: int, n: int, s: int, t: int) -> float:
+    """KST upper bound on the edges of a ``K_{s,t}``-free bipartite graph.
+
+    ``m`` counts the side contributing ``s`` vertices to the forbidden
+    biclique (workers), ``n`` the side contributing ``t`` (items).
+    Requires ``1 <= s <= m`` and ``1 <= t <= n``.  ``s = 1`` or ``t = 1``
+    forbid a star, so the bound degenerates to the exact ``max`` degree
+    ceiling.
+
+    >>> kovari_sos_turan_bound(4, 4, 2, 2) >= 9  # z(4,4;2,2) = 9
+    True
+    """
+    if not 1 <= s <= m:
+        raise ValueError(f"require 1 <= s <= m, got s={s}, m={m}")
+    if not 1 <= t <= n:
+        raise ValueError(f"require 1 <= t <= n, got t={t}, n={n}")
+    if t == 1:
+        # No user may reach degree... rather: no s users may share an item;
+        # each item takes at most s - 1 edges.
+        return float(n * (s - 1)) if s > 1 else 0.0
+    if s == 1:
+        # No single user may click t items: degree cap t - 1 per user.
+        return float(m * (t - 1))
+    # Largest mean degree d with m * C(d, t) <= (s - 1) * C(n, t).
+    limit = (s - 1) * comb(n, t)
+    low, high = 0.0, float(n)
+    for _step in range(64):  # ~1e-19 relative precision, plenty
+        mid = (low + high) / 2.0
+        if m * _generalized_binomial(mid, t) <= limit:
+            low = mid
+        else:
+            high = mid
+    return m * low
+
+
+def zarankiewicz_upper_bound(m: int, n: int, s: int, t: int) -> int:
+    """Best orientation of the KST bound, floored to an edge count.
+
+    Both orientations of the forbidden biclique yield valid bounds, so the
+    minimum is taken; the trivial ceiling ``m * n`` clamps degenerate
+    cases.
+    """
+    direct = kovari_sos_turan_bound(m, n, s, t)
+    flipped = kovari_sos_turan_bound(n, m, t, s)
+    return min(int(direct), int(flipped), m * n)
+
+
+def undetected_campaign_bound(
+    n_workers: int, n_items: int, params: RICDParams
+) -> int:
+    """Max fake edges a campaign can place without forming a detectable core.
+
+    Given ``n_workers`` controlled accounts, ``n_items`` clickable items
+    and the deployed RICD parameters, any fake-edge set containing a
+    ``k1 x k2`` biclique is (up to screening) detectable, so an invisible
+    campaign is ``K_{k1,k2}``-free and its size is bounded by
+    ``z(n_workers, n_items; k1, k2)``.
+
+    The practical reading: to push more clicks than this, the seller must
+    recruit more accounts — and the bound grows only like
+    ``n_workers^(1 - 1/k2)``, so the marginal account buys less and less.
+    """
+    if n_workers < 1 or n_items < 1:
+        raise ValueError("n_workers and n_items must be positive")
+    s = min(params.k1, n_workers)
+    t = min(params.k2, n_items)
+    return zarankiewicz_upper_bound(n_workers, n_items, s, t)
+
+
+def contains_biclique(edges: set[tuple], s: int, t: int) -> bool:
+    """Whether the bipartite edge set contains a ``K_{s,t}`` (brute force).
+
+    Exponential in ``s`` — intended for tests and small exploratory
+    checks, not production graphs.  ``edges`` holds ``(user, item)``
+    pairs.
+    """
+    if s < 1 or t < 1:
+        raise ValueError("s and t must be positive")
+    adjacency: dict = {}
+    for user, item in edges:
+        adjacency.setdefault(user, set()).add(item)
+    users = [u for u, items in adjacency.items() if len(items) >= t]
+    if len(users) < s:
+        return False
+    for subset in combinations(users, s):
+        common = set.intersection(*(adjacency[user] for user in subset))
+        if len(common) >= t:
+            return True
+    return False

@@ -1,0 +1,242 @@
+"""The RICD detection framework (Fig. 4) and its ablation variants.
+
+:class:`RICDDetector` chains the three modules of the paper:
+
+1. **Suspicious group detection** — optional seed expansion (Algorithm 2's
+   ``GraphGenerator``) followed by ``(alpha, k1, k2)``-extension biclique
+   extraction (Algorithm 3);
+2. **Suspicious group screening** — user behaviour check + item behaviour
+   verification (switchable, giving the RICD / RICD-I / RICD-UI variants
+   of Table VI);
+3. **Suspicious group identification** — risk-score ranking plus the
+   Fig. 7 feedback loop that relaxes parameters until the output meets the
+   end-user expectation.
+
+The detector is stateless between calls: thresholds left as ``None`` in
+the parameters are re-derived from each input graph exactly as Section IV
+prescribes (Pareto rule for ``T_hot``, Eq. 4 for ``T_click``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from .._util import Stopwatch
+from ..config import FeedbackPolicy, RICDParams, ScreeningParams
+from ..errors import FeedbackExhaustedError
+from ..graph.bipartite import BipartiteGraph
+from ..graph.builders import seed_expansion
+from .extraction import extract_groups
+from .groups import DetectionResult, SuspiciousGroup
+from .identification import adjust_parameters, assemble_result, output_size
+from .screening import screen_groups
+from .thresholds import pareto_hot_threshold, t_click_from_graph
+
+__all__ = ["RICDDetector", "RICDVariant", "VARIANT_FULL", "VARIANT_NO_ITEM", "VARIANT_NO_SCREEN"]
+
+Node = Hashable
+
+#: Full framework: both screening steps (the paper's "RICD").
+VARIANT_FULL = "ricd"
+#: User behaviour check only (the paper's "RICD-I").
+VARIANT_NO_ITEM = "ricd-i"
+#: No screening module at all (the paper's "RICD-UI").
+VARIANT_NO_SCREEN = "ricd-ui"
+
+RICDVariant = str  # alias for documentation purposes
+
+_VALID_VARIANTS = (VARIANT_FULL, VARIANT_NO_ITEM, VARIANT_NO_SCREEN)
+
+
+@dataclass
+class RICDDetector:
+    """The "Ride Item's Coattails" attack detector.
+
+    Parameters
+    ----------
+    params:
+        Extraction parameters.  ``t_hot``/``t_click`` left at ``None`` are
+        derived from the input graph per Section IV.
+    screening:
+        Screening-module parameters.
+    feedback:
+        Fig. 7 policy; ``None`` disables the feedback loop.
+    variant:
+        ``"ricd"`` (full), ``"ricd-i"`` (no item verification) or
+        ``"ricd-ui"`` (no screening).
+    max_group_users, max_group_items:
+        Caps on *final* (screened, re-split) group size — desired property
+        4b: organic group-buying / deal-hunter swarms form blocks that are
+        structurally and behaviourally attack-like but much *larger* than
+        crowd-worker groups ("crowd workers tend to attack ... on a small
+        scale"), so oversized final groups are discarded.  The caps only
+        apply to the full variant: before item verification re-splits
+        components, group extents are merged blobs the caps would wrongly
+        nuke.  ``None`` disables a cap.
+    strict_feedback:
+        When the feedback loop exhausts its rounds without meeting the
+        expectation: raise :class:`FeedbackExhaustedError` if ``True``,
+        otherwise return the best (largest) output seen.
+    engine:
+        Extraction engine: ``"reference"`` (pure-Python Algorithm 3, the
+        paper-faithful implementation), ``"sparse"`` (scipy Gram-matrix
+        evaluation — same fixpoint, roughly an order of magnitude faster
+        on 10^5-edge graphs) or ``"auto"`` (sparse when scipy is installed
+        and the graph exceeds ~20k edges).
+
+    Examples
+    --------
+    >>> from repro.datagen import tiny_scenario
+    >>> from repro.config import RICDParams
+    >>> scenario = tiny_scenario()
+    >>> detector = RICDDetector(params=RICDParams(k1=4, k2=4))
+    >>> result = detector.detect(scenario.graph)
+    >>> isinstance(result.suspicious_users, set)
+    True
+    """
+
+    params: RICDParams = field(default_factory=RICDParams)
+    screening: ScreeningParams = field(default_factory=ScreeningParams)
+    feedback: FeedbackPolicy | None = None
+    variant: RICDVariant = VARIANT_FULL
+    max_group_users: int | None = 18
+    max_group_items: int | None = None
+    strict_feedback: bool = False
+    engine: str = "reference"
+
+    #: Detector name used by the evaluation harness and reports.
+    @property
+    def name(self) -> str:
+        """Short display name (matches the paper's method labels)."""
+        return {
+            VARIANT_FULL: "RICD",
+            VARIANT_NO_ITEM: "RICD-I",
+            VARIANT_NO_SCREEN: "RICD-UI",
+        }[self.variant]
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VALID_VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VALID_VARIANTS}, got {self.variant!r}"
+            )
+        if self.engine not in ("reference", "sparse", "auto"):
+            raise ValueError(
+                f"engine must be 'reference', 'sparse' or 'auto', got {self.engine!r}"
+            )
+
+    def _extract(self, graph: BipartiteGraph, params: RICDParams):
+        """Run the configured extraction engine."""
+        from .extraction_sparse import extract_groups_sparse, sparse_available
+
+        use_sparse = self.engine == "sparse" or (
+            self.engine == "auto" and sparse_available() and graph.num_edges > 20_000
+        )
+        if use_sparse:
+            if not sparse_available():
+                raise RuntimeError("engine='sparse' requires scipy")
+            return extract_groups_sparse(graph, params)
+        return extract_groups(graph, params)
+
+    # ------------------------------------------------------------------
+    def resolve_thresholds(self, graph: BipartiteGraph) -> RICDParams:
+        """Fill in data-derived ``t_hot`` / ``t_click`` (Section IV)."""
+        changes: dict[str, float] = {}
+        if self.params.t_hot is None:
+            changes["t_hot"] = float(pareto_hot_threshold(graph))
+        if self.params.t_click is None:
+            changes["t_click"] = float(t_click_from_graph(graph))
+        return self.params.replace(**changes) if changes else self.params
+
+    def _run_modules(
+        self,
+        graph: BipartiteGraph,
+        params: RICDParams,
+        screening: ScreeningParams,
+        timer: Stopwatch,
+    ) -> list[SuspiciousGroup]:
+        """Modules 1 + 2 with the given (possibly relaxed) parameters."""
+        with timer.measure("detection"):
+            groups = self._extract(graph, params)
+        with timer.measure("screening"):
+            if self.variant == VARIANT_NO_SCREEN:
+                screened = groups
+            else:
+                screened = screen_groups(
+                    graph,
+                    groups,
+                    t_hot=params.t_hot,  # resolved by caller
+                    t_click=params.t_click,
+                    params=screening,
+                    do_item_verification=self.variant == VARIANT_FULL,
+                )
+            if self.variant == VARIANT_FULL:
+                screened = [
+                    group
+                    for group in screened
+                    if (
+                        self.max_group_users is None
+                        or len(group.users) <= self.max_group_users
+                    )
+                    and (
+                        self.max_group_items is None
+                        or len(group.items) <= self.max_group_items
+                    )
+                ]
+        return screened
+
+    def detect(
+        self,
+        graph: BipartiteGraph,
+        seed_users: Sequence[Node] = (),
+        seed_items: Sequence[Node] = (),
+    ) -> DetectionResult:
+        """Run the full framework on ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The click graph (never mutated).
+        seed_users, seed_items:
+            Known abnormal nodes from the business department; when given,
+            extraction runs on their two-hop neighbourhood only
+            (Algorithm 2's seed-pruned ``MaxBiGraph``).  Thresholds are
+            still derived from the *full* graph, since they are global
+            marketplace statistics.
+        """
+        timer = Stopwatch()
+        params = self.resolve_thresholds(graph)
+
+        with timer.measure("detection"):
+            if seed_users or seed_items:
+                working = seed_expansion(graph, seed_users, seed_items, hops=2)
+            else:
+                working = graph
+
+        screened = self._run_modules(working, params, self.screening, timer)
+        rounds = 0
+
+        if self.feedback is not None:
+            screening = self.screening
+            best = screened
+            while (
+                output_size(screened) < self.feedback.expectation
+                and rounds < self.feedback.max_rounds
+            ):
+                params, screening = adjust_parameters(params, screening, self.feedback)
+                rounds += 1
+                screened = self._run_modules(working, params, screening, timer)
+                if output_size(screened) > output_size(best):
+                    best = screened
+            if output_size(screened) < self.feedback.expectation:
+                if self.strict_feedback:
+                    raise FeedbackExhaustedError(
+                        rounds, output_size(screened), self.feedback.expectation
+                    )
+                screened = best
+
+        with timer.measure("identification"):
+            result = assemble_result(graph, screened)
+        result.timings = dict(timer.durations)
+        result.feedback_rounds = rounds
+        return result

@@ -1,0 +1,135 @@
+"""The item-to-item (I2I) relevance score model of Section IV-A.
+
+Fig. 3 of the paper: given a *hot item* and the set of ordinary items
+co-clicked with it, the I2I score of ordinary item ``i`` is
+
+.. math::  S_i = C_i / (C_1 + C_2 + ... + C_n)           (Eq. 1)
+
+where ``C_i`` counts clicks on ``i`` by users who also clicked the hot
+item.  This module provides the score itself, the attacker's gain function
+(Eq. 2) and the closed-form optimal strategy (Eq. 3): *click the hot item
+once, then spend the entire remaining budget on the target item* —
+the behavioural assumption the attack injector and the user-behaviour
+check are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "co_click_counts",
+    "i2i_scores",
+    "attacked_i2i_score",
+    "optimal_attack_allocation",
+    "attack_score_gain",
+]
+
+Node = Hashable
+
+
+def co_click_counts(graph: BipartiteGraph, hot_item: Node) -> dict[Node, int]:
+    """``C_i`` per co-clicked item: clicks on ``i`` from users who clicked ``hot_item``.
+
+    The production system conditions on click order ("has been clicked
+    before"); the offline click table has no timestamps, so — exactly like
+    the paper's own offline analysis — co-occurrence in a user's click list
+    stands in for temporal precedence.
+    """
+    counts: dict[Node, int] = {}
+    for user in graph.item_neighbors(hot_item):
+        for item, clicks in graph.user_neighbors(user).items():
+            if item != hot_item:
+                counts[item] = counts.get(item, 0) + clicks
+    return counts
+
+
+def i2i_scores(graph: BipartiteGraph, hot_item: Node) -> dict[Node, float]:
+    """Eq. 1: normalised I2I scores of every item co-clicked with ``hot_item``.
+
+    Scores sum to 1 over the co-clicked set (empty dict when nothing
+    co-clicks).
+    """
+    counts = co_click_counts(graph, hot_item)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {item: count / total for item, count in counts.items()}
+
+
+def attacked_i2i_score(
+    existing_counts: Mapping[Node, int] | int,
+    target_initial: int,
+    extra_target_clicks: int,
+    extra_other_clicks: int = 0,
+) -> float:
+    """Eq. 2: the target's I2I score after an attack allocation.
+
+    Parameters
+    ----------
+    existing_counts:
+        Either the mapping of pre-attack co-click counts ``{item: C_i}``
+        (the target excluded) or their sum directly.
+    target_initial:
+        ``C_{n+1}`` — the target's co-click count before the extra clicks
+        (1 right after the link-establishing click pair).
+    extra_target_clicks:
+        ``C'`` — additional clicks spent on the target.
+    extra_other_clicks:
+        ``C - C'`` — additional clicks wasted on other items (camouflage).
+
+    Returns
+    -------
+    float
+        ``S_{n+1}`` after the allocation.
+    """
+    if target_initial < 0 or extra_target_clicks < 0 or extra_other_clicks < 0:
+        raise ValueError("click counts must be non-negative")
+    baseline = (
+        existing_counts
+        if isinstance(existing_counts, int)
+        else sum(existing_counts.values())
+    )
+    numerator = target_initial + extra_target_clicks
+    denominator = baseline + numerator + extra_other_clicks
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def optimal_attack_allocation(click_budget: int) -> tuple[int, int]:
+    """Eq. 3: the allocation maximising the target's I2I score.
+
+    With a budget ``C_b`` (two clicks of which must establish the
+    hot-target link), the maximum is achieved iff ``C' = C = C_b - 2``:
+    all remaining clicks go to the target item, none are "wasted" on other
+    items.  Returns ``(clicks_on_hot, clicks_on_target)``.
+
+    >>> optimal_attack_allocation(15)
+    (1, 14)
+    """
+    if click_budget < 2:
+        raise ValueError(f"click budget must be >= 2 to establish a link, got {click_budget}")
+    return 1, click_budget - 1
+
+
+def attack_score_gain(
+    existing_counts: Mapping[Node, int] | int, click_budget: int
+) -> float:
+    """The best achievable ``S_{n+1}`` for a given budget (Eq. 3 upper bound).
+
+    Monotone increasing in the budget and decreasing in the hot item's
+    existing co-click volume — the quantitative reason attackers prefer
+    large budgets on targets over spreading clicks.
+    """
+    _hot_clicks, target_clicks = optimal_attack_allocation(click_budget)
+    # After the link is established C_{n+1} = 1; the remaining budget beyond
+    # the two link clicks is C_b - 2, all of it optimally on the target.
+    return attacked_i2i_score(
+        existing_counts,
+        target_initial=1,
+        extra_target_clicks=target_clicks - 1,
+        extra_other_clicks=0,
+    )

@@ -1,0 +1,336 @@
+"""The "Ride Item's Coattails" attack injector.
+
+Implements the paper's attack model (Section III-A) and the behavioural
+findings of Section IV as a generative process:
+
+* a malicious seller recruits a *group* of crowd-worker accounts;
+* the group shares 1-3 **hot items** (existing high-traffic items) and a
+  set of low-traffic **target items**;
+* each worker clicks every hot item a *small* number of times (the Eq. 3
+  optimum is once; the observed average is "extremely small (< 4)",
+  Table III shows 1-2);
+* each worker clicks each assigned target item many times — at least the
+  abnormal threshold ``T_click = 12`` (Eq. 4, Table III shows 13) — the
+  "click the target item as much as possible" optimum of Eq. 3;
+* each worker adds **camouflage**: a few clicks on random unrelated items
+  to "confuse the risk control system" (Table III rows 4, 5, 7).
+
+Worker-target density below 1.0 produces the *near*-biclique structure
+that motivates the paper's ``(alpha, k1, k2)``-extension definition: with
+``density = 0.8``, roughly 80% of worker-target pairs receive fake clicks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..core.thresholds import pareto_hot_threshold
+from ..errors import DataGenError
+from ..graph.bipartite import BipartiteGraph
+from .labels import GroundTruth
+
+__all__ = ["AttackConfig", "AttackGroup", "inject_attacks", "worker_id", "target_id"]
+
+Node = Hashable
+
+
+def worker_id(group_index: int, worker_index: int) -> str:
+    """Canonical crowd-worker account id."""
+    return f"w{group_index}_{worker_index}"
+
+
+def target_id(group_index: int, target_index: int) -> str:
+    """Canonical target-item id."""
+    return f"t{group_index}_{target_index}"
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Configuration of the attack injector.
+
+    Ranges are inclusive ``(low, high)`` tuples sampled uniformly per group
+    or per worker.  Defaults follow the paper's published case study
+    (Section VII: 28 accounts, 2 hot items, 11 target items per group) and
+    the sensitivity-analysis observation that real attacks are *frequent
+    on a small scale* — more target clicks (large k2-side pressure), fewer
+    accounts (small k1-side), which the defaults scale down a little so
+    several groups fit a 1/1000-scale marketplace.
+
+    Parameters
+    ----------
+    n_groups:
+        Number of independent attack groups.
+    workers_per_group:
+        Accounts recruited per group.
+    targets_per_group:
+        Target items per group.
+    hot_items_per_group:
+        Hot items ridden per group (the paper: sellers "always try to
+        associate multiple hot items with target items").
+    target_clicks:
+        Fake clicks per (worker, target) edge; the low end should sit at or
+        above the abnormal threshold ``T_click`` (paper: 12).
+    hot_clicks:
+        Clicks per (worker, hot item) edge; Eq. 3 optimum is 1, observed
+        average is below 4.
+    camouflage_items:
+        Unrelated items clicked per worker as disguise.
+    camouflage_clicks:
+        Clicks per camouflage edge (small: disguise is cheap by Eq. 3).
+    density:
+        Probability a (worker, target) pair receives fake clicks.  1.0
+        yields a full biclique core; lower values yield near-bicliques.
+    sloppy_fraction:
+        Fraction of workers who ignore the Eq. 3 optimum and spread only
+        ``sloppy_target_clicks`` clicks per target (below ``T_click``).
+        They are still labelled abnormal, and the extraction module still
+        catches them (it is click-weight-blind), but the behaviour checks
+        clear them — reproducing the paper's recall drop from RICD-UI
+        (0.82) to RICD (0.51).
+    sloppy_target_clicks:
+        Per-target click range used by sloppy workers.
+    organic_target_users:
+        Pre-attack organic users per target item (targets are real listed
+        items with *some* traffic; Section IV-B selects low-click items).
+    hijacked_user_fraction:
+        Fraction of worker accounts that are *hijacked organic accounts*
+        (an existing user id is relabelled as a worker) instead of fresh
+        registrations — these workers come with a genuine history, the
+        hardest camouflage in the paper's challenge list.
+    worker_reuse_fraction:
+        Fraction of each group's accounts drawn from a shared pool of
+        *professional* crowd workers who serve multiple sellers.  Reused
+        workers accumulate clicks on several groups' hot items — the
+        cross-task footprint the naive algorithm's ``Alpha`` score keys
+        on, and a documented reality of crowdsourcing platforms (Fig. 1).
+    seed:
+        RNG seed (independent from the marketplace seed).
+    """
+
+    n_groups: int = 8
+    workers_per_group: tuple[int, int] = (8, 18)
+    targets_per_group: tuple[int, int] = (10, 14)
+    hot_items_per_group: tuple[int, int] = (1, 3)
+    target_clicks: tuple[int, int] = (12, 14)
+    hot_clicks: tuple[int, int] = (1, 3)
+    camouflage_items: tuple[int, int] = (3, 10)
+    camouflage_clicks: tuple[int, int] = (1, 2)
+    density: float = 0.95
+    sloppy_fraction: float = 0.3
+    sloppy_target_clicks: tuple[int, int] = (3, 8)
+    organic_target_users: tuple[int, int] = (1, 6)
+    hijacked_user_fraction: float = 0.2
+    worker_reuse_fraction: float = 0.25
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_groups < 0:
+            raise DataGenError("n_groups must be >= 0")
+        for name in (
+            "workers_per_group",
+            "targets_per_group",
+            "hot_items_per_group",
+            "target_clicks",
+            "hot_clicks",
+            "camouflage_items",
+            "camouflage_clicks",
+            "organic_target_users",
+        ):
+            low, high = getattr(self, name)
+            if low > high:
+                raise DataGenError(f"{name} range is inverted: ({low}, {high})")
+            if low < 0:
+                raise DataGenError(f"{name} must be non-negative")
+        if self.workers_per_group[0] < 1:
+            raise DataGenError("workers_per_group must be >= 1")
+        if self.targets_per_group[0] < 1:
+            raise DataGenError("targets_per_group must be >= 1")
+        if not 0.0 < self.density <= 1.0:
+            raise DataGenError("density must lie in (0, 1]")
+        if not 0.0 <= self.hijacked_user_fraction <= 1.0:
+            raise DataGenError("hijacked_user_fraction must lie in [0, 1]")
+        if not 0.0 <= self.sloppy_fraction <= 1.0:
+            raise DataGenError("sloppy_fraction must lie in [0, 1]")
+        if not 0.0 <= self.worker_reuse_fraction <= 1.0:
+            raise DataGenError("worker_reuse_fraction must lie in [0, 1]")
+        low, high = self.sloppy_target_clicks
+        if low > high or low < 1:
+            raise DataGenError(f"sloppy_target_clicks range is invalid: ({low}, {high})")
+
+
+@dataclass
+class AttackGroup:
+    """One injected "Ride Item's Coattails" attack group.
+
+    Attributes
+    ----------
+    group_id:
+        Sequential index of the group.
+    workers:
+        Crowd-worker account ids (fresh and hijacked).
+    hot_items:
+        Existing hot items the group rides.
+    target_items:
+        Low-quality items being boosted.
+    fake_edges:
+        The injected ``(user, item, clicks)`` records, including hot and
+        camouflage clicks — everything attributable to the attack.
+    """
+
+    group_id: int
+    workers: list[Node] = field(default_factory=list)
+    hot_items: list[Node] = field(default_factory=list)
+    target_items: list[Node] = field(default_factory=list)
+    fake_edges: list[tuple[Node, Node, int]] = field(default_factory=list)
+
+    @property
+    def fake_click_volume(self) -> int:
+        """Total fake clicks injected by this group."""
+        return sum(clicks for _user, _item, clicks in self.fake_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackGroup(id={self.group_id}, workers={len(self.workers)}, "
+            f"hot={len(self.hot_items)}, targets={len(self.target_items)}, "
+            f"fake_clicks={self.fake_click_volume})"
+        )
+
+
+def _uniform_int(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    low, high = bounds
+    return int(rng.integers(low, high + 1))
+
+
+def _pick_hot_items(
+    graph: BipartiteGraph,
+    count: int,
+    rng: np.random.Generator,
+    hot_pool: list[Node],
+) -> list[Node]:
+    """Sample ``count`` items from the precomputed hot pool."""
+    if not hot_pool:
+        raise DataGenError("cannot inject attacks: graph has no hot items")
+    indices = rng.choice(len(hot_pool), size=min(count, len(hot_pool)), replace=False)
+    return [hot_pool[int(index)] for index in indices]
+
+
+def inject_attacks(
+    graph: BipartiteGraph,
+    config: AttackConfig,
+    existing_users: Sequence[Node] | None = None,
+) -> GroundTruth:
+    """Inject ``config.n_groups`` attack groups into ``graph`` in place.
+
+    Parameters
+    ----------
+    graph:
+        The organic marketplace graph; mutated in place.
+    config:
+        Attack parameters.
+    existing_users:
+        Pool of account ids eligible for hijacking; defaults to all users
+        currently in the graph.
+
+    Returns
+    -------
+    GroundTruth
+        Exact labels: every worker account and every target item.
+    """
+    rng = np.random.default_rng(config.seed)
+    user_pool = list(existing_users) if existing_users is not None else list(graph.users())
+    hijackable = list(user_pool)
+    rng.shuffle(hijackable)  # type: ignore[arg-type]
+    truth = GroundTruth()
+
+    # Hot items the sellers ride: the genuinely hot (Pareto-boundary) set,
+    # so ridden items classify as hot under the detector's derived T_hot.
+    hot_boundary = pareto_hot_threshold(graph)
+    hot_pool = [
+        item
+        for item in graph.items()
+        if graph.item_total_clicks(item) >= hot_boundary
+    ]
+    professional_pool: list[Node] = []
+
+    for group_index in range(config.n_groups):
+        group = AttackGroup(group_id=group_index)
+        n_workers = _uniform_int(rng, config.workers_per_group)
+        n_targets = _uniform_int(rng, config.targets_per_group)
+        n_hot = _uniform_int(rng, config.hot_items_per_group)
+
+        # --- accounts: professional (reused), hijacked, and fresh workers
+        n_reused = int(round(n_workers * config.worker_reuse_fraction))
+        if professional_pool and n_reused:
+            chosen = rng.choice(
+                len(professional_pool),
+                size=min(n_reused, len(professional_pool)),
+                replace=False,
+            )
+            group.workers.extend(professional_pool[int(index)] for index in chosen)
+        n_hijacked = int(round(n_workers * config.hijacked_user_fraction))
+        for _count in range(min(n_hijacked, len(hijackable))):
+            group.workers.append(hijackable.pop())
+        fresh_needed = n_workers - len(group.workers)
+        for worker_index in range(fresh_needed):
+            account = worker_id(group_index, worker_index)
+            graph.add_user(account)
+            group.workers.append(account)
+            professional_pool.append(account)
+
+        # --- items: ride existing hot items; list fresh low-quality targets
+        group.hot_items = _pick_hot_items(graph, n_hot, rng, hot_pool)
+        ordinary_pool = [
+            item for item in graph.items() if item not in group.hot_items
+        ]
+        for item_index in range(n_targets):
+            target = target_id(group_index, item_index)
+            graph.add_item(target)
+            group.target_items.append(target)
+            # Pre-attack organic trickle: targets are listed items that
+            # "cannot attract users' clicks" but are not fully isolated.
+            n_organic = _uniform_int(rng, config.organic_target_users)
+            if n_organic and user_pool:
+                chosen = rng.choice(len(user_pool), size=min(n_organic, len(user_pool)), replace=False)
+                for index in chosen:
+                    graph.add_click(user_pool[int(index)], target, 1)
+
+        # --- fake click campaign (Eq. 3 strategy per worker; sloppy
+        # workers spread fewer clicks per target than the optimum)
+        for worker in group.workers:
+            sloppy = rng.random() < config.sloppy_fraction
+            click_range = (
+                config.sloppy_target_clicks if sloppy else config.target_clicks
+            )
+            for hot in group.hot_items:
+                clicks = _uniform_int(rng, config.hot_clicks)
+                if clicks:
+                    graph.add_click(worker, hot, clicks)
+                    group.fake_edges.append((worker, hot, clicks))
+            for target in group.target_items:
+                if rng.random() > config.density:
+                    continue
+                clicks = _uniform_int(rng, click_range)
+                graph.add_click(worker, target, clicks)
+                group.fake_edges.append((worker, target, clicks))
+            n_camouflage = _uniform_int(rng, config.camouflage_items)
+            if n_camouflage and ordinary_pool:
+                chosen = rng.choice(
+                    len(ordinary_pool),
+                    size=min(n_camouflage, len(ordinary_pool)),
+                    replace=False,
+                )
+                for index in chosen:
+                    clicks = _uniform_int(rng, config.camouflage_clicks)
+                    if clicks:
+                        item = ordinary_pool[int(index)]
+                        graph.add_click(worker, item, clicks)
+                        group.fake_edges.append((worker, item, clicks))
+
+        truth.abnormal_users.update(group.workers)
+        truth.abnormal_items.update(group.target_items)
+        truth.groups.append(group)
+
+    return truth

@@ -1,0 +1,144 @@
+"""Adversarial evasion: the strongest attacker the paper's model allows.
+
+Section III-A: "This work assumes that attackers have complete knowledge
+of how the recommendation system works and the attack detection
+mechanisms."  Such an attacker never lets their fake-edge set contain a
+``k1 x k2`` biclique, because that is exactly what Algorithm 3 prunes
+*for* — and the Zarankiewicz bound (:mod:`repro.core.camouflage`) caps how
+many fake clicks such an *invisible* campaign can place.
+
+:func:`inject_evasive_campaign` builds that attacker: worker-target
+assignments are generated so every target is clicked by at most
+``k1 - 1`` workers, which makes the fake-edge set trivially
+``K_{k1,k2}``-free (a forbidden biclique needs ``k1`` workers sharing
+``k2`` targets, but no target reaches ``k1`` workers at all).  This is the
+structure-optimal evasion for a seller who wants per-target click volume:
+it maximises edges per target under the invisibility constraint.
+
+The point of the module — made quantitative by
+``benchmarks/bench_camouflage_bound.py`` — is the paper's property (3):
+the evasive campaign indeed escapes extraction, but its per-target I2I
+lift is capped at a fraction of the overt campaign's, so invisibility is
+*bought with effectiveness*.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..config import RICDParams
+from ..errors import DataGenError
+from ..graph.bipartite import BipartiteGraph
+from .attacks import AttackGroup, _pick_hot_items, _uniform_int
+from .labels import GroundTruth
+
+__all__ = ["EvasionConfig", "inject_evasive_campaign"]
+
+Node = Hashable
+
+
+class EvasionConfig:
+    """Configuration of the invisible (K-free) campaign.
+
+    Parameters
+    ----------
+    params:
+        The deployed RICD parameters the attacker is evading (``k1`` sets
+        the per-target worker ceiling).
+    n_workers:
+        Accounts the seller controls.
+    n_targets:
+        Target items to boost.
+    target_clicks:
+        Clicks per realised (worker, target) edge — the attacker still
+        follows the Eq. 3 concentration optimum per edge.
+    hot_items:
+        Hot items to ride (clicked once per worker, as Eq. 3 dictates).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        params: RICDParams,
+        n_workers: int = 30,
+        n_targets: int = 12,
+        target_clicks: tuple[int, int] = (12, 14),
+        hot_items: int = 2,
+        seed: int = 0,
+    ):
+        if n_workers < 1 or n_targets < 1:
+            raise DataGenError("n_workers and n_targets must be positive")
+        if hot_items < 0:
+            raise DataGenError("hot_items must be >= 0")
+        low, high = target_clicks
+        if low > high or low < 1:
+            raise DataGenError("target_clicks range is invalid")
+        self.params = params
+        self.n_workers = n_workers
+        self.n_targets = n_targets
+        self.target_clicks = target_clicks
+        self.hot_items = hot_items
+        self.seed = seed
+
+
+def inject_evasive_campaign(
+    graph: BipartiteGraph, config: EvasionConfig
+) -> GroundTruth:
+    """Inject a ``K_{k1,k2}``-free campaign into ``graph`` in place.
+
+    Every target receives fake clicks from at most ``k1 - 1`` distinct
+    workers (round-robin assignment), so no ``k1``-worker core can share
+    even a single target — the campaign is invisible to Algorithm 3 by
+    construction.  Hot rides are unrestricted (hot items never join an
+    extracted core's item side at sane parameters, and the paper's
+    screening discards them anyway).
+
+    Returns the exact :class:`GroundTruth` of the campaign (one group).
+
+    Degenerate case: ``k1 = 1`` forbids any fake edge at all (a single
+    worker-target pair is already a ``K_{1,1}`` the extractor can seed
+    from); the function then injects nothing but still returns the
+    labelled accounts.
+    """
+    params = config.params
+    rng = np.random.default_rng(config.seed)
+    group = AttackGroup(group_id=0)
+
+    per_target_cap = params.k1 - 1
+    group.workers = [f"ev_w{index}" for index in range(config.n_workers)]
+    for worker in group.workers:
+        graph.add_user(worker)
+
+    if config.hot_items:
+        hot_boundary_pool = sorted(
+            graph.items(), key=graph.item_total_clicks, reverse=True
+        )[: max(10, config.hot_items)]
+        group.hot_items = _pick_hot_items(
+            graph, config.hot_items, rng, hot_boundary_pool
+        )
+        for worker in group.workers:
+            for hot in group.hot_items:
+                graph.add_click(worker, hot, 1)
+                group.fake_edges.append((worker, hot, 1))
+
+    cursor = 0
+    for target_index in range(config.n_targets):
+        target = f"ev_t{target_index}"
+        graph.add_item(target)
+        group.target_items.append(target)
+        # Round-robin at most (k1 - 1) workers onto this target.
+        for _slot in range(min(per_target_cap, config.n_workers)):
+            worker = group.workers[cursor % config.n_workers]
+            cursor += 1
+            clicks = _uniform_int(rng, config.target_clicks)
+            graph.add_click(worker, target, clicks)
+            group.fake_edges.append((worker, target, clicks))
+
+    return GroundTruth(
+        abnormal_users=set(group.workers),
+        abnormal_items=set(group.target_items),
+        groups=[group],
+    )

@@ -1,0 +1,64 @@
+"""Ground-truth containers for injected attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .attacks import AttackGroup
+
+__all__ = ["GroundTruth"]
+
+Node = Hashable
+
+
+@dataclass
+class GroundTruth:
+    """Exact labels of an injected-attack scenario.
+
+    Attributes
+    ----------
+    abnormal_users:
+        All crowd-worker accounts, across every injected group.
+    abnormal_items:
+        All target items, across every injected group.
+    groups:
+        The injected :class:`~repro.datagen.attacks.AttackGroup` objects,
+        preserving per-group membership (used by group-level diagnostics).
+    """
+
+    abnormal_users: set[Node] = field(default_factory=set)
+    abnormal_items: set[Node] = field(default_factory=set)
+    groups: list["AttackGroup"] = field(default_factory=list)
+
+    @property
+    def abnormal_nodes(self) -> set[Node]:
+        """Union of abnormal users and items.
+
+        User and item namespaces never collide in generated scenarios
+        (ids are prefixed ``u``/``w`` vs ``i``/``t``), so the union is safe.
+        """
+        return self.abnormal_users | self.abnormal_items
+
+    def is_abnormal_user(self, user: Node) -> bool:
+        """Whether ``user`` is a labelled crowd worker."""
+        return user in self.abnormal_users
+
+    def is_abnormal_item(self, item: Node) -> bool:
+        """Whether ``item`` is a labelled attack target."""
+        return item in self.abnormal_items
+
+    def merge(self, other: "GroundTruth") -> "GroundTruth":
+        """Union of two label sets (e.g. attacks injected in two waves)."""
+        return GroundTruth(
+            abnormal_users=self.abnormal_users | other.abnormal_users,
+            abnormal_items=self.abnormal_items | other.abnormal_items,
+            groups=[*self.groups, *other.groups],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundTruth(users={len(self.abnormal_users)}, "
+            f"items={len(self.abnormal_items)}, groups={len(self.groups)})"
+        )

@@ -1,0 +1,145 @@
+"""Scenario = marketplace + injected attacks + exact ground truth.
+
+A :class:`Scenario` bundles everything an experiment needs: the click
+graph, the labels, and the configurations that produced them.  Three
+presets cover the repository's needs:
+
+* :func:`paper_scenario` — the paper's environment at 1/1000 scale
+  (20k users / 4k items / ~90k records), used by the benchmark harness;
+* :func:`small_scenario` — 3k users / 700 items, used by integration tests;
+* :func:`tiny_scenario` — ~800 users, used by unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.bipartite import BipartiteGraph
+from .attacks import AttackConfig, inject_attacks
+from .labels import GroundTruth
+from .marketplace import MarketplaceConfig, generate_marketplace
+
+__all__ = [
+    "Scenario",
+    "generate_scenario",
+    "paper_scenario",
+    "small_scenario",
+    "tiny_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A generated experiment environment.
+
+    Attributes
+    ----------
+    graph:
+        The click graph with attacks already injected.
+    truth:
+        Exact labels of the injected attacks.
+    marketplace_config, attack_config:
+        The generator configurations, kept for provenance and reporting.
+    """
+
+    graph: BipartiteGraph
+    truth: GroundTruth
+    marketplace_config: MarketplaceConfig
+    attack_config: AttackConfig
+
+    @property
+    def abnormal_fraction_users(self) -> float:
+        """Share of user nodes that are labelled abnormal."""
+        if self.graph.num_users == 0:
+            return 0.0
+        return len(self.truth.abnormal_users) / self.graph.num_users
+
+    @property
+    def abnormal_fraction_items(self) -> float:
+        """Share of item nodes that are labelled abnormal."""
+        if self.graph.num_items == 0:
+            return 0.0
+        return len(self.truth.abnormal_items) / self.graph.num_items
+
+    def __repr__(self) -> str:
+        return f"Scenario(graph={self.graph!r}, truth={self.truth!r})"
+
+
+def generate_scenario(
+    marketplace_config: MarketplaceConfig, attack_config: AttackConfig
+) -> Scenario:
+    """Generate a marketplace and inject attacks into it."""
+    graph = generate_marketplace(marketplace_config)
+    organic_users = list(graph.users())
+    truth = inject_attacks(graph, attack_config, existing_users=organic_users)
+    return Scenario(
+        graph=graph,
+        truth=truth,
+        marketplace_config=marketplace_config,
+        attack_config=attack_config,
+    )
+
+
+def paper_scenario(seed: int = 0, n_groups: int = 8) -> Scenario:
+    """The paper's environment at 1/1000 scale.
+
+    20k users, 4k items, ~86k organic click records plus ``n_groups``
+    injected attack groups with the paper's case-study group shape.
+    """
+    marketplace = MarketplaceConfig(seed=seed)
+    attacks = AttackConfig(n_groups=n_groups, seed=seed + 1)
+    return generate_scenario(marketplace, attacks)
+
+
+def small_scenario(seed: int = 0, n_groups: int = 4) -> Scenario:
+    """A 3k-user / 700-item scenario for integration tests (~1 s)."""
+    marketplace = MarketplaceConfig(
+        n_users=3_000,
+        n_items=700,
+        n_cohorts=4,
+        cohort_users=(12, 25),
+        cohort_items=(8, 12),
+        n_superfans=30,
+        superfan_clicks=(12, 18),
+        n_swarms=2,
+        swarm_users=(20, 26),
+        swarm_items=(6, 8),
+        seed=seed,
+    )
+    attacks = AttackConfig(
+        n_groups=n_groups,
+        workers_per_group=(5, 8),
+        targets_per_group=(5, 8),
+        target_clicks=(13, 15),
+        sloppy_target_clicks=(3, 7),
+        seed=seed + 1,
+    )
+    return generate_scenario(marketplace, attacks)
+
+
+def tiny_scenario(seed: int = 0, n_groups: int = 1) -> Scenario:
+    """A few-hundred-node scenario for unit tests (tens of milliseconds)."""
+    marketplace = MarketplaceConfig(
+        n_users=800,
+        n_items=150,
+        n_cohorts=1,
+        cohort_users=(8, 12),
+        cohort_items=(6, 8),
+        n_superfans=5,
+        n_swarms=0,
+        seed=seed,
+    )
+    attacks = AttackConfig(
+        n_groups=n_groups,
+        workers_per_group=(4, 5),
+        targets_per_group=(5, 6),
+        hot_items_per_group=(1, 2),
+        target_clicks=(13, 14),
+        density=1.0,
+        sloppy_fraction=0.0,
+        hijacked_user_fraction=0.0,
+        worker_reuse_fraction=0.0,
+        organic_target_users=(1, 3),
+        seed=seed + 1,
+    )
+    return generate_scenario(marketplace, attacks)

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the detector in a larger pipeline can catch one base
+class.  Subclasses are grouped by the subsystem that raises them; each
+carries a human-readable message and, where useful, structured context
+attributes (the offending node id, parameter name, etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "SideMismatchError",
+    "ClickTableError",
+    "ConfigError",
+    "DataGenError",
+    "DetectionError",
+    "ScreeningError",
+    "FeedbackExhaustedError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for bipartite-graph level errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A user or item id was requested that does not exist in the graph.
+
+    Attributes
+    ----------
+    node:
+        The missing node identifier.
+    side:
+        ``"user"`` or ``"item"`` — which partition was searched.
+    """
+
+    def __init__(self, node, side: str):
+        self.node = node
+        self.side = side
+        super().__init__(f"{side} node {node!r} not found in graph")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return f"{self.side} node {self.node!r} not found in graph"
+
+
+class DuplicateNodeError(GraphError):
+    """A node id was added to a partition where it already exists."""
+
+    def __init__(self, node, side: str):
+        self.node = node
+        self.side = side
+        super().__init__(f"{side} node {node!r} already present in graph")
+
+
+class SideMismatchError(GraphError):
+    """An edge endpoint was used on the wrong side of the bipartition."""
+
+
+class ClickTableError(ReproError):
+    """A click-table file or record is malformed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ConfigError(ReproError, ValueError):
+    """A parameter object holds an invalid value.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the offending parameter, when known.
+    """
+
+    def __init__(self, message: str, parameter: str | None = None):
+        self.parameter = parameter
+        super().__init__(message)
+
+
+class DataGenError(ReproError):
+    """The synthetic marketplace or attack generator was misconfigured."""
+
+
+class DetectionError(ReproError):
+    """A detector failed to produce a result."""
+
+
+class ScreeningError(DetectionError):
+    """The suspicious-group screening module received malformed groups."""
+
+
+class FeedbackExhaustedError(DetectionError):
+    """The feedback parameter-adjustment loop ran out of adjustment steps.
+
+    Raised by the identification module (Fig. 7 of the paper) when the
+    output still does not meet the end-user expectation ``T`` after the
+    configured maximum number of parameter relaxations.
+
+    Attributes
+    ----------
+    rounds:
+        Number of adjustment rounds attempted.
+    last_size:
+        Size of the final (still insufficient) output.
+    """
+
+    def __init__(self, rounds: int, last_size: int, expectation: int):
+        self.rounds = rounds
+        self.last_size = last_size
+        self.expectation = expectation
+        super().__init__(
+            f"feedback loop exhausted after {rounds} rounds: "
+            f"output size {last_size} < expectation {expectation}"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment id was unknown or an experiment failed to run."""

@@ -1,0 +1,44 @@
+"""Evaluation harness: metrics (Eq. 5-6), the paper's partial-label
+protocol, detector runners, sensitivity sweeps and text reporting."""
+
+from .groundtruth import KnownLabels, simulate_known_labels
+from .harness import DetectorRun, default_detector_suite, evaluate_detector, run_suite
+from .metrics import Metrics, confusion_counts, node_metrics
+from .reporting import format_float, render_series, render_table, render_timeline
+from .robustness import (
+    CamouflagePoint,
+    EvasionReport,
+    SeedSummary,
+    camouflage_sweep,
+    evaluate_across_seeds,
+    evasion_economics,
+)
+from .sweeps import SweepPoint, sensitivity_sweep
+from .tuning import GridPoint, TuningResult, grid_search
+
+__all__ = [
+    "Metrics",
+    "node_metrics",
+    "confusion_counts",
+    "KnownLabels",
+    "simulate_known_labels",
+    "DetectorRun",
+    "evaluate_detector",
+    "run_suite",
+    "default_detector_suite",
+    "SweepPoint",
+    "sensitivity_sweep",
+    "render_table",
+    "render_series",
+    "render_timeline",
+    "format_float",
+    "CamouflagePoint",
+    "camouflage_sweep",
+    "EvasionReport",
+    "evasion_economics",
+    "SeedSummary",
+    "evaluate_across_seeds",
+    "GridPoint",
+    "TuningResult",
+    "grid_search",
+]

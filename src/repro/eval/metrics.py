@@ -1,0 +1,92 @@
+"""Detection metrics — Eq. 5 and Eq. 6 of the paper.
+
+.. math::
+
+    precision = \\frac{|detected \\cap known|}{|detected|}
+    \\qquad
+    recall = \\frac{|detected \\cap known|}{|known|}
+
+The "known" set can be the *exact* injected ground truth (available here
+because attacks are synthetic) or the paper's *partial* expert-labelled
+subset (see :mod:`repro.eval.groundtruth`); the paper computes against the
+latter and notes its precision "will be lower than the true precision
+rate, but it is fair for all the algorithms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["Metrics", "node_metrics", "confusion_counts"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Precision / recall / F1 plus the raw counts they came from."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    output_size: int
+    known_size: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        """The (precision, recall, F1) triple, as reported in the paper's tables."""
+        return (self.precision, self.recall, self.f1)
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def confusion_counts(
+    detected: set[Node], known: set[Node]
+) -> tuple[int, int, int]:
+    """``(true_positives, false_positives, false_negatives)`` vs the known set."""
+    true_positives = len(detected & known)
+    return (
+        true_positives,
+        len(detected) - true_positives,
+        len(known) - true_positives,
+    )
+
+
+def node_metrics(
+    detected_users: set[Node],
+    detected_items: set[Node],
+    known_users: set[Node],
+    known_items: set[Node],
+) -> Metrics:
+    """Joint node-level metrics over both partitions (the paper's headline numbers).
+
+    Users and items are counted together, exactly as Eq. 5/6 treat
+    "abnormal nodes".  The two partitions are intersected separately (a
+    user id can never match an item id) and then summed.
+
+    >>> m = node_metrics({"w1", "u9"}, {"t1"}, {"w1", "w2"}, {"t1", "t2"})
+    >>> (m.true_positives, m.output_size, m.known_size)
+    (2, 3, 4)
+    >>> round(m.precision, 3), round(m.recall, 3)
+    (0.667, 0.5)
+    """
+    true_positives = len(detected_users & known_users) + len(
+        detected_items & known_items
+    )
+    output_size = len(detected_users) + len(detected_items)
+    known_size = len(known_users) + len(known_items)
+    precision = true_positives / output_size if output_size else 0.0
+    recall = true_positives / known_size if known_size else 0.0
+    return Metrics(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        true_positives=true_positives,
+        output_size=output_size,
+        known_size=known_size,
+    )

@@ -1,0 +1,108 @@
+"""Plain-text renderers for the reproduced tables and figures.
+
+Everything the benchmark harness prints goes through these helpers so all
+experiments share one visual format: fixed-width tables for the paper's
+tables, aligned multi-series columns for its figures (a terminal-friendly
+stand-in for line charts).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_float", "render_table", "render_series", "render_timeline"]
+
+
+def format_float(value: float | None, digits: int = 3) -> str:
+    """Render a float (or ``None``) compactly for table cells.
+
+    >>> format_float(0.8125)
+    '0.812'
+    >>> format_float(None)
+    '-'
+    >>> format_float(12.0, 1)
+    '12.0'
+    """
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width text table.
+
+    Column widths auto-fit the content; numeric cells should be
+    pre-formatted by the caller (e.g. with :func:`format_float`).
+
+    >>> print(render_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    columns = len(headers)
+    cells = [[str(cell) for cell in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns"
+            )
+    widths = [
+        max(len(headers[index]), max((len(row[index]) for row in cells), default=0))
+        for index in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Aligned columns for one figure: x values + one column per series.
+
+    The terminal-friendly equivalent of the paper's line plots: each row
+    is one x position, each named column one curve.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            if index < len(values):
+                row.append(format_float(values[index], digits))
+            else:
+                row.append("-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_timeline(
+    days: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    events: Mapping[int, str],
+    title: str | None = None,
+) -> str:
+    """Fig. 10-style timeline: day rows, traffic columns, event markers."""
+    headers = ["day", *series.keys(), "event"]
+    rows = []
+    for index, day in enumerate(days):
+        row: list[object] = [day]
+        for values in series.values():
+            row.append(format_float(values[index], 1))
+        row.append(events.get(day, ""))
+        rows.append(row)
+    return render_table(headers, rows, title=title)

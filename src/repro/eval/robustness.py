@@ -1,0 +1,257 @@
+"""Adversarial-robustness evaluation.
+
+Two studies beyond the paper's main grid, both rooted in its text:
+
+* **Camouflage sweep** — "experienced crowd workers will add arbitrary
+  'camouflage' to disguise their fraud".  :func:`camouflage_sweep` regrows
+  the scenario with increasing camouflage volume and evaluates a detector
+  at each level; a camouflage-robust detector's metrics stay flat.
+
+* **Evasion economics** — the strongest attacker stays ``K_{k1,k2}``-free
+  (:mod:`repro.datagen.evasion`) and is invisible to extraction; the
+  Zarankiewicz bound caps the fake clicks that buys.
+  :func:`evasion_economics` quantifies the trade: detection rate and
+  per-target I2I lift of an overt campaign vs the invisible one.
+
+* **Multi-seed stability** — :func:`evaluate_across_seeds` reruns a
+  detector over freshly generated scenarios and reports mean/min/max
+  metrics, the repository's guard against seed-cherry-picking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..baselines.base import Detector
+from ..config import RICDParams
+from ..core.camouflage import undetected_campaign_bound
+from ..core.framework import RICDDetector
+from ..core.i2i import i2i_scores
+from ..datagen.evasion import EvasionConfig, inject_evasive_campaign
+from ..datagen.scenario import Scenario, generate_scenario
+from .metrics import Metrics, node_metrics
+
+__all__ = [
+    "CamouflagePoint",
+    "camouflage_sweep",
+    "EvasionReport",
+    "evasion_economics",
+    "SeedSummary",
+    "evaluate_across_seeds",
+]
+
+
+@dataclass(frozen=True)
+class CamouflagePoint:
+    """One camouflage level's evaluation."""
+
+    camouflage_items: tuple[int, int]
+    metrics: Metrics
+
+
+def camouflage_sweep(
+    base_scenario: Scenario,
+    detector_factory: Callable[[], Detector],
+    levels: Sequence[tuple[int, int]] = ((0, 0), (1, 4), (5, 12), (12, 25)),
+) -> list[CamouflagePoint]:
+    """Evaluate a detector as attackers add more camouflage.
+
+    The scenario is regenerated at each level with only
+    ``camouflage_items`` changed (same seeds, same marketplace), so the
+    curves isolate the camouflage effect.
+
+    Parameters
+    ----------
+    base_scenario:
+        Template scenario whose configs are reused.
+    detector_factory:
+        Builds a fresh detector per level (detectors may be stateful).
+    levels:
+        ``camouflage_items`` ranges to test, in reporting order.
+    """
+    points: list[CamouflagePoint] = []
+    for level in levels:
+        low, high = level
+        attack_config = dataclasses.replace(
+            base_scenario.attack_config,
+            camouflage_items=(low, high),
+            camouflage_clicks=(1, 2) if high else (0, 0),
+        )
+        scenario = generate_scenario(base_scenario.marketplace_config, attack_config)
+        result = detector_factory().detect(scenario.graph)
+        metrics = node_metrics(
+            result.suspicious_users,
+            result.suspicious_items,
+            scenario.truth.abnormal_users,
+            scenario.truth.abnormal_items,
+        )
+        points.append(CamouflagePoint(camouflage_items=level, metrics=metrics))
+    return points
+
+
+@dataclass(frozen=True)
+class EvasionReport:
+    """Overt vs invisible campaign, side by side.
+
+    Attributes
+    ----------
+    overt_detection_rate, evasive_detection_rate:
+        Share of campaign accounts the detector flags.
+    overt_mean_lift, evasive_mean_lift:
+        Mean I2I score of the targets against the ridden hot item.
+    invisible_click_bound:
+        The Zarankiewicz ceiling on the evasive campaign's fake edges.
+    evasive_fake_edges:
+        Fake edges the evasive campaign actually placed (must respect the
+        bound on the target side).
+    """
+
+    overt_detection_rate: float
+    evasive_detection_rate: float
+    overt_mean_lift: float
+    evasive_mean_lift: float
+    invisible_click_bound: int
+    evasive_fake_edges: int
+
+
+def _mean_target_score(graph, hot_item, targets) -> float:
+    scores = i2i_scores(graph, hot_item)
+    if not targets:
+        return 0.0
+    return sum(scores.get(target, 0.0) for target in targets) / len(targets)
+
+
+def evasion_economics(
+    clean_graph,
+    params: RICDParams,
+    n_workers: int = 30,
+    n_targets: int = 12,
+    seed: int = 0,
+) -> EvasionReport:
+    """Quantify what ``K``-freeness costs the attacker.
+
+    Injects, into two copies of ``clean_graph``, (a) an *overt* campaign
+    (every worker clicks every target — the Eq. 3 optimum, detectable) and
+    (b) the *invisible* campaign of :mod:`repro.datagen.evasion` with the
+    same worker/target budget, then measures detection and I2I lift for
+    both.
+    """
+    from ..datagen.attacks import AttackConfig, inject_attacks
+
+    detector = RICDDetector(params=params, max_group_users=None)
+
+    overt_graph = clean_graph.copy()
+    overt_truth = inject_attacks(
+        overt_graph,
+        AttackConfig(
+            n_groups=1,
+            workers_per_group=(n_workers, n_workers),
+            targets_per_group=(n_targets, n_targets),
+            hot_items_per_group=(1, 1),
+            target_clicks=(12, 13),
+            density=1.0,
+            sloppy_fraction=0.0,
+            hijacked_user_fraction=0.0,
+            worker_reuse_fraction=0.0,
+            camouflage_items=(0, 0),
+            organic_target_users=(0, 0),
+            seed=seed,
+        ),
+    )
+    overt_group = overt_truth.groups[0]
+    overt_result = detector.detect(overt_graph)
+    overt_rate = len(
+        set(overt_group.workers) & overt_result.suspicious_users
+    ) / len(overt_group.workers)
+    overt_lift = _mean_target_score(
+        overt_graph, overt_group.hot_items[0], overt_group.target_items
+    )
+
+    evasive_graph = clean_graph.copy()
+    evasive_truth = inject_evasive_campaign(
+        evasive_graph,
+        EvasionConfig(
+            params,
+            n_workers=n_workers,
+            n_targets=n_targets,
+            hot_items=1,
+            seed=seed + 1,
+        ),
+    )
+    evasive_group = evasive_truth.groups[0]
+    evasive_result = detector.detect(evasive_graph)
+    evasive_rate = len(
+        set(evasive_group.workers) & evasive_result.suspicious_users
+    ) / len(evasive_group.workers)
+    evasive_lift = (
+        _mean_target_score(
+            evasive_graph, evasive_group.hot_items[0], evasive_group.target_items
+        )
+        if evasive_group.hot_items
+        else 0.0
+    )
+    target_edges = sum(
+        1 for _u, item, _c in evasive_group.fake_edges if str(item).startswith("ev_t")
+    )
+    return EvasionReport(
+        overt_detection_rate=overt_rate,
+        evasive_detection_rate=evasive_rate,
+        overt_mean_lift=overt_lift,
+        evasive_mean_lift=evasive_lift,
+        invisible_click_bound=undetected_campaign_bound(n_workers, n_targets, params),
+        evasive_fake_edges=target_edges,
+    )
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Mean/min/max of a metric across seeds."""
+
+    mean_precision: float
+    mean_recall: float
+    mean_f1: float
+    min_f1: float
+    max_f1: float
+    n_seeds: int
+    stdev_f1: float
+
+
+def evaluate_across_seeds(
+    detector_factory: Callable[[], Detector],
+    scenario_factory: Callable[[int], Scenario],
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> SeedSummary:
+    """Run ``detector_factory()`` on fresh scenarios for every seed.
+
+    Returns aggregate exact-truth metrics; use to verify claims are not
+    seed artefacts.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    rows: list[Metrics] = []
+    for seed in seeds:
+        scenario = scenario_factory(seed)
+        result = detector_factory().detect(scenario.graph)
+        rows.append(
+            node_metrics(
+                result.suspicious_users,
+                result.suspicious_items,
+                scenario.truth.abnormal_users,
+                scenario.truth.abnormal_items,
+            )
+        )
+    f1_values = [m.f1 for m in rows]
+    mean_f1 = sum(f1_values) / len(f1_values)
+    variance = sum((v - mean_f1) ** 2 for v in f1_values) / len(f1_values)
+    return SeedSummary(
+        mean_precision=sum(m.precision for m in rows) / len(rows),
+        mean_recall=sum(m.recall for m in rows) / len(rows),
+        mean_f1=mean_f1,
+        min_f1=min(f1_values),
+        max_f1=max(f1_values),
+        n_seeds=len(seeds),
+        stdev_f1=math.sqrt(variance),
+    )

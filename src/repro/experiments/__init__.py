@@ -1,0 +1,20 @@
+"""One module per reproduced table/figure, plus the experiment registry.
+
+Every experiment exposes ``run(...) -> ExperimentReport``; the registry
+maps paper artifact ids (``table1`` ... ``fig10``) to those functions, and
+``python -m repro <id>`` runs them from the command line.
+"""
+
+from .registry import (
+    EXPERIMENT_IDS,
+    ExperimentReport,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "EXPERIMENT_IDS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,47 @@
+"""Shared experiment plumbing: the report type and the default scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from ..datagen.scenario import Scenario, paper_scenario
+
+__all__ = ["ExperimentReport", "default_scenario"]
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of one reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper artifact id (``"table1"``, ``"fig8a"``, ...).
+    title:
+        Human-readable headline.
+    text:
+        The rendered table/series, ready to print.
+    data:
+        Structured values for programmatic assertions (tests, the
+        EXPERIMENTS.md generator).
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
+
+
+@lru_cache(maxsize=4)
+def default_scenario(seed: int = 0) -> Scenario:
+    """The shared paper-scale scenario, cached per seed.
+
+    Experiments reuse one generated environment so a full
+    ``python -m repro all`` run pays the ~2 s generation cost once.
+    """
+    return paper_scenario(seed=seed)

@@ -1,0 +1,78 @@
+"""Eq. 2-3: the attacker's optimal click allocation, verified numerically.
+
+Not a figure in the paper, but the analytical backbone of the attack model
+(and of this repository's attack injector): given a click budget, the
+I2I score of the target is maximised by clicking the hot item once and
+spending everything else on the target.  The report sweeps all feasible
+allocations for a budget and shows the maximum sits at ``C' = C = C_b - 2``.
+"""
+
+from __future__ import annotations
+
+from ..core.i2i import attacked_i2i_score, optimal_attack_allocation
+from ..eval.reporting import format_float, render_table
+from .base import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(click_budget: int = 12, existing_co_clicks: int = 500) -> ExperimentReport:
+    """Sweep attack allocations for one budget and locate the optimum.
+
+    Parameters
+    ----------
+    click_budget:
+        Total clicks available to the worker (``C_b``).
+    existing_co_clicks:
+        Pre-existing co-click volume around the hot item
+        (``C_1 + ... + C_n``).
+    """
+    if click_budget < 2:
+        raise ValueError("click_budget must be >= 2")
+    spendable = click_budget - 2  # two clicks establish the hot-target link
+    rows = []
+    best_score, best_allocation = -1.0, (0, 0)
+    for total_extra in range(spendable + 1):
+        for on_target in range(total_extra + 1):
+            score = attacked_i2i_score(
+                existing_co_clicks,
+                target_initial=1,
+                extra_target_clicks=on_target,
+                extra_other_clicks=total_extra - on_target,
+            )
+            if score > best_score:
+                best_score = score
+                best_allocation = (on_target, total_extra)
+    # Show the diagonal (all budget on target) versus the worst split.
+    for total_extra in range(spendable + 1):
+        concentrated = attacked_i2i_score(
+            existing_co_clicks, 1, total_extra, 0
+        )
+        spread = attacked_i2i_score(existing_co_clicks, 1, 0, total_extra)
+        rows.append(
+            [
+                total_extra,
+                format_float(concentrated, 5),
+                format_float(spread, 5),
+            ]
+        )
+    hot_clicks, target_clicks = optimal_attack_allocation(click_budget)
+    text = render_table(
+        ["extra clicks C", "all on target (C'=C)", "all on others (C'=0)"],
+        rows,
+        title=(
+            f"Eq. 2 sweep, budget C_b={click_budget}, existing co-clicks="
+            f"{existing_co_clicks}; optimum at C'=C={spendable} "
+            f"(allocation: hot x{hot_clicks}, target x{target_clicks})"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id="eq3",
+        title="Attacker optimal strategy (Eq. 2-3)",
+        text=text,
+        data={
+            "best_score": best_score,
+            "best_allocation": best_allocation,
+            "expected_allocation": (spendable, spendable),
+        },
+    )

@@ -1,0 +1,42 @@
+"""Experiment registry: paper artifact id -> runner function."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from . import eq3, fig2, fig8, fig9, fig10, robustness, table1_2, table3_4, table5, table6
+from .base import ExperimentReport
+
+__all__ = ["EXPERIMENT_IDS", "get_experiment", "run_experiment", "ExperimentReport"]
+
+_REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
+    "table1_2": table1_2.run,
+    "fig2": fig2.run,
+    "table3_4": table3_4.run,
+    "table5": table5.run,
+    "fig8": fig8.run,
+    "table6": table6.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "eq3": eq3.run,
+    "robustness": robustness.run,
+}
+
+#: All registered experiment ids, in paper order.
+EXPERIMENT_IDS = tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """The runner for ``experiment_id``; raises :class:`ExperimentError` if unknown."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENT_IDS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

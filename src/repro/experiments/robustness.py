@@ -1,0 +1,111 @@
+"""Adversarial robustness report (beyond the paper's grid; see DESIGN.md §5).
+
+Three studies grounded in the paper's own claims:
+
+* desired property (2)/(3): camouflage cannot hide the attack structure;
+* Section V-C's Zarankiewicz argument: the fully-informed invisible
+  attacker forfeits most of the I2I lift;
+* seed stability: the headline metrics are not generator artefacts.
+"""
+
+from __future__ import annotations
+
+from ..config import RICDParams
+from ..core.framework import RICDDetector
+from ..datagen import MarketplaceConfig, generate_marketplace, small_scenario
+from ..eval.reporting import format_float, render_table
+from ..eval.robustness import camouflage_sweep, evaluate_across_seeds, evasion_economics
+from .base import ExperimentReport, default_scenario
+
+__all__ = ["run"]
+
+
+def run(seed: int = 0) -> ExperimentReport:
+    """Run the camouflage, evasion and multi-seed studies."""
+    sections: list[str] = []
+    data: dict[str, object] = {}
+
+    # --- camouflage sweep on the shared paper-scale scenario
+    points = camouflage_sweep(
+        default_scenario(seed),
+        lambda: RICDDetector(),
+        levels=((0, 0), (3, 10), (12, 25)),
+    )
+    sections.append(
+        render_table(
+            ["camouflage items/worker", "P", "R", "F1"],
+            [
+                [
+                    f"{p.camouflage_items[0]}-{p.camouflage_items[1]}",
+                    format_float(p.metrics.precision),
+                    format_float(p.metrics.recall),
+                    format_float(p.metrics.f1),
+                ]
+                for p in points
+            ],
+            title="Camouflage sweep — disguise never helps the attacker",
+        )
+    )
+    data["camouflage"] = points
+
+    # --- evasion economics on an overlay-free marketplace
+    clean = generate_marketplace(
+        MarketplaceConfig(n_swarms=0, n_superfans=0, seed=seed + 21)
+    )
+    report = evasion_economics(
+        clean, RICDParams(k1=10, k2=10), n_workers=25, n_targets=12, seed=seed + 3
+    )
+    sections.append(
+        render_table(
+            ["campaign", "detection rate", "mean target I2I"],
+            [
+                [
+                    "overt (Eq. 3 optimum)",
+                    format_float(report.overt_detection_rate, 2),
+                    format_float(report.overt_mean_lift, 5),
+                ],
+                [
+                    "invisible (K-free)",
+                    format_float(report.evasive_detection_rate, 2),
+                    format_float(report.evasive_mean_lift, 5),
+                ],
+            ],
+            title=(
+                "Evasion economics — invisible-click bound "
+                f"{report.invisible_click_bound}, campaign placed "
+                f"{report.evasive_fake_edges} target edges"
+            ),
+        )
+    )
+    data["evasion"] = report
+
+    # --- multi-seed stability at integration scale
+    summary = evaluate_across_seeds(
+        lambda: RICDDetector(params=RICDParams(k1=5, k2=5)),
+        lambda s: small_scenario(seed=s),
+        seeds=tuple(range(seed, seed + 3)),
+    )
+    sections.append(
+        render_table(
+            ["seeds", "mean P", "mean R", "mean F1", "min F1", "max F1"],
+            [
+                [
+                    summary.n_seeds,
+                    format_float(summary.mean_precision),
+                    format_float(summary.mean_recall),
+                    format_float(summary.mean_f1),
+                    format_float(summary.min_f1),
+                    format_float(summary.max_f1),
+                ]
+            ],
+            title="Multi-seed stability (integration scale)",
+        )
+    )
+    data["seeds"] = summary
+
+    return ExperimentReport(
+        experiment_id="robustness",
+        title="Adversarial robustness (camouflage / evasion / seeds)",
+        text="\n\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,273 @@
+"""The weighted user-item bipartite click graph.
+
+:class:`BipartiteGraph` stores the paper's ``TaoBao_UI_Clicks`` relation as
+two mirrored dict-of-dict adjacency maps, one per partition.  The
+representation was chosen over a matrix because every detection algorithm
+in the paper *mutates* the graph by deleting nodes (CorePruning and
+SquarePruning both "remove a vertex and all its adjacent edges"), and hash
+maps give O(degree) deletion, O(1) edge lookup and cheap neighbour-set
+intersection — the three operations Algorithm 3 is built from.
+
+Users and items live in separate namespaces: the same identifier may appear
+on both sides without clashing, as in the paper's tables where user ids and
+item ids are independent integer sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..errors import DuplicateNodeError, NodeNotFoundError
+
+__all__ = ["BipartiteGraph"]
+
+Node = Hashable
+
+
+class BipartiteGraph:
+    """A mutable weighted bipartite graph of user→item click counts.
+
+    Edges carry a positive integer click count ``p``; adding clicks to an
+    existing edge accumulates.  All mutation keeps the two adjacency maps
+    mirrored, so ``user_neighbors``/``item_neighbors`` are always
+    consistent views of the same edge set.
+
+    Examples
+    --------
+    >>> g = BipartiteGraph()
+    >>> g.add_click("u1", "i1", 3)
+    >>> g.add_click("u1", "i2")
+    >>> g.user_degree("u1"), g.user_total_clicks("u1")
+    (2, 4)
+    >>> g.remove_item("i1")
+    >>> g.user_degree("u1")
+    1
+    """
+
+    __slots__ = ("_users", "_items", "_total_clicks")
+
+    def __init__(self) -> None:
+        self._users: dict[Node, dict[Node, int]] = {}
+        self._items: dict[Node, dict[Node, int]] = {}
+        self._total_clicks: int = 0
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_user(self, user: Node) -> None:
+        """Register ``user`` with no edges.  No-op if already present."""
+        self._users.setdefault(user, {})
+
+    def add_item(self, item: Node) -> None:
+        """Register ``item`` with no edges.  No-op if already present."""
+        self._items.setdefault(item, {})
+
+    def add_user_strict(self, user: Node) -> None:
+        """Register ``user``; raise :class:`DuplicateNodeError` if present."""
+        if user in self._users:
+            raise DuplicateNodeError(user, "user")
+        self._users[user] = {}
+
+    def add_item_strict(self, item: Node) -> None:
+        """Register ``item``; raise :class:`DuplicateNodeError` if present."""
+        if item in self._items:
+            raise DuplicateNodeError(item, "item")
+        self._items[item] = {}
+
+    def has_user(self, user: Node) -> bool:
+        """Whether ``user`` is in the user partition."""
+        return user in self._users
+
+    def has_item(self, item: Node) -> bool:
+        """Whether ``item`` is in the item partition."""
+        return item in self._items
+
+    def remove_user(self, user: Node) -> None:
+        """Delete ``user`` and all its incident edges."""
+        try:
+            adjacency = self._users.pop(user)
+        except KeyError:
+            raise NodeNotFoundError(user, "user") from None
+        for item, clicks in adjacency.items():
+            del self._items[item][user]
+            self._total_clicks -= clicks
+
+    def remove_item(self, item: Node) -> None:
+        """Delete ``item`` and all its incident edges."""
+        try:
+            adjacency = self._items.pop(item)
+        except KeyError:
+            raise NodeNotFoundError(item, "item") from None
+        for user, clicks in adjacency.items():
+            del self._users[user][item]
+            self._total_clicks -= clicks
+
+    # ------------------------------------------------------------------
+    # Edge management
+    # ------------------------------------------------------------------
+    def add_click(self, user: Node, item: Node, clicks: int = 1) -> None:
+        """Record that ``user`` clicked ``item`` ``clicks`` more times.
+
+        Creates the endpoints if needed.  ``clicks`` must be positive.
+        """
+        if clicks <= 0:
+            raise ValueError(f"clicks must be positive, got {clicks}")
+        user_adj = self._users.setdefault(user, {})
+        item_adj = self._items.setdefault(item, {})
+        new_count = user_adj.get(item, 0) + clicks
+        user_adj[item] = new_count
+        item_adj[user] = new_count
+        self._total_clicks += clicks
+
+    def set_click(self, user: Node, item: Node, clicks: int) -> None:
+        """Set the edge weight exactly; ``clicks = 0`` deletes the edge."""
+        if clicks < 0:
+            raise ValueError(f"clicks must be >= 0, got {clicks}")
+        current = self.get_click(user, item)
+        if clicks == 0:
+            if current:
+                del self._users[user][item]
+                del self._items[item][user]
+                self._total_clicks -= current
+            return
+        user_adj = self._users.setdefault(user, {})
+        item_adj = self._items.setdefault(item, {})
+        user_adj[item] = clicks
+        item_adj[user] = clicks
+        self._total_clicks += clicks - current
+
+    def remove_edge(self, user: Node, item: Node) -> None:
+        """Delete the edge between ``user`` and ``item`` if present."""
+        self.set_click(user, item, 0)
+
+    def has_edge(self, user: Node, item: Node) -> bool:
+        """Whether ``user`` has clicked ``item`` at least once."""
+        adjacency = self._users.get(user)
+        return adjacency is not None and item in adjacency
+
+    def get_click(self, user: Node, item: Node, default: int = 0) -> int:
+        """Click count on edge ``(user, item)``, or ``default`` if absent."""
+        adjacency = self._users.get(user)
+        if adjacency is None:
+            return default
+        return adjacency.get(item, default)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def users(self) -> Iterator[Node]:
+        """Iterate over user ids."""
+        return iter(self._users)
+
+    def items(self) -> Iterator[Node]:
+        """Iterate over item ids."""
+        return iter(self._items)
+
+    def edges(self) -> Iterator[tuple[Node, Node, int]]:
+        """Iterate over ``(user, item, clicks)`` triples."""
+        for user, adjacency in self._users.items():
+            for item, clicks in adjacency.items():
+                yield user, item, clicks
+
+    def user_neighbors(self, user: Node) -> Mapping[Node, int]:
+        """Read-only view of ``{item: clicks}`` for ``user``."""
+        try:
+            return self._users[user]
+        except KeyError:
+            raise NodeNotFoundError(user, "user") from None
+
+    def item_neighbors(self, item: Node) -> Mapping[Node, int]:
+        """Read-only view of ``{user: clicks}`` for ``item``."""
+        try:
+            return self._items[item]
+        except KeyError:
+            raise NodeNotFoundError(item, "item") from None
+
+    def user_degree(self, user: Node) -> int:
+        """Number of distinct items clicked by ``user``."""
+        return len(self.user_neighbors(user))
+
+    def item_degree(self, item: Node) -> int:
+        """Number of distinct users who clicked ``item``."""
+        return len(self.item_neighbors(item))
+
+    def user_total_clicks(self, user: Node) -> int:
+        """Sum of click counts on all of ``user``'s edges."""
+        return sum(self.user_neighbors(user).values())
+
+    def item_total_clicks(self, item: Node) -> int:
+        """Sum of click counts on all of ``item``'s edges (Table III's *Total_click*)."""
+        return sum(self.item_neighbors(item).values())
+
+    @property
+    def num_users(self) -> int:
+        """Number of user nodes."""
+        return len(self._users)
+
+    @property
+    def num_items(self) -> int:
+        """Number of item nodes."""
+        return len(self._items)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (user, item) click records — *Edge* in Table I."""
+        return sum(len(adjacency) for adjacency in self._users.values())
+
+    @property
+    def total_clicks(self) -> int:
+        """Sum of all click counts — *Total_click* in Table I."""
+        return self._total_clicks
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "BipartiteGraph":
+        """Deep copy of nodes and edges (node ids are shared, not copied)."""
+        clone = BipartiteGraph()
+        clone._users = {user: dict(adj) for user, adj in self._users.items()}
+        clone._items = {item: dict(adj) for item, adj in self._items.items()}
+        clone._total_clicks = self._total_clicks
+        return clone
+
+    def subgraph(
+        self, users: Iterable[Node] | None = None, items: Iterable[Node] | None = None
+    ) -> "BipartiteGraph":
+        """Induced subgraph on the given node subsets.
+
+        ``None`` for either side means "keep that whole side".  Unknown ids
+        are ignored, which lets callers pass detector output (which may
+        reference nodes already pruned away) without pre-filtering.
+        """
+        keep_users = self._users.keys() if users is None else {u for u in users if u in self._users}
+        keep_items = self._items.keys() if items is None else {i for i in items if i in self._items}
+        result = BipartiteGraph()
+        for user in keep_users:
+            result.add_user(user)
+            for item, clicks in self._users[user].items():
+                if item in keep_items:
+                    result.add_click(user, item, clicks)
+        for item in keep_items:
+            result.add_item(item)
+        return result
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return self._users == other._users and self._items == other._items
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("BipartiteGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"edges={self.num_edges}, clicks={self.total_clicks})"
+        )
+
+    def __len__(self) -> int:
+        """Total node count across both partitions."""
+        return self.num_users + self.num_items

@@ -1,0 +1,130 @@
+"""Structural views: induced subgraphs, components, two-hop neighbourhoods.
+
+The SquarePruning step of Algorithm 3 reasons about *two-hop* neighbours —
+users reachable through a shared item, items reachable through a shared
+user — and the group-splitting step of the framework separates pruning
+survivors into connected components.  Both primitives live here so the
+detector modules stay focused on the paper's logic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "induced_subgraph",
+    "connected_components",
+    "two_hop_user_neighbors",
+    "two_hop_item_neighbors",
+    "common_item_neighbors",
+    "common_user_neighbors",
+]
+
+Node = Hashable
+
+
+def induced_subgraph(
+    graph: BipartiteGraph, users: set[Node] | None = None, items: set[Node] | None = None
+) -> BipartiteGraph:
+    """Alias of :meth:`BipartiteGraph.subgraph` kept for API symmetry."""
+    return graph.subgraph(users, items)
+
+
+def connected_components(graph: BipartiteGraph) -> list[tuple[set[Node], set[Node]]]:
+    """Connected components as ``(user_set, item_set)`` pairs.
+
+    Components are returned largest-first (by total node count) and
+    deterministically ordered within ties by their smallest node's string
+    form, so downstream reports are stable across runs.
+    """
+    unseen_users = set(graph.users())
+    unseen_items = set(graph.items())
+    components: list[tuple[set[Node], set[Node]]] = []
+    while unseen_users or unseen_items:
+        if unseen_users:
+            start: tuple[str, Node] = ("user", next(iter(unseen_users)))
+        else:
+            start = ("item", next(iter(unseen_items)))
+        component_users: set[Node] = set()
+        component_items: set[Node] = set()
+        queue: deque[tuple[str, Node]] = deque([start])
+        if start[0] == "user":
+            unseen_users.discard(start[1])
+            component_users.add(start[1])
+        else:
+            unseen_items.discard(start[1])
+            component_items.add(start[1])
+        while queue:
+            side, node = queue.popleft()
+            if side == "user":
+                for item in graph.user_neighbors(node):
+                    if item in unseen_items:
+                        unseen_items.discard(item)
+                        component_items.add(item)
+                        queue.append(("item", item))
+            else:
+                for user in graph.item_neighbors(node):
+                    if user in unseen_users:
+                        unseen_users.discard(user)
+                        component_users.add(user)
+                        queue.append(("user", user))
+        components.append((component_users, component_items))
+
+    def _sort_key(component: tuple[set[Node], set[Node]]) -> tuple[int, str]:
+        users_side, items_side = component
+        size = len(users_side) + len(items_side)
+        smallest = min((str(n) for n in (users_side | items_side)), default="")
+        return (-size, smallest)
+
+    components.sort(key=_sort_key)
+    return components
+
+
+def two_hop_user_neighbors(graph: BipartiteGraph, user: Node) -> dict[Node, int]:
+    """Users sharing at least one item with ``user``, with shared-item counts.
+
+    Returns ``{other_user: |adj(user) ∩ adj(other_user)|}``; ``user`` itself
+    is excluded.  This is the quantity SquarePruning thresholds against
+    ``ceil(k2 * alpha)`` (Algorithm 3, line 15).
+    """
+    counts: dict[Node, int] = {}
+    for item in graph.user_neighbors(user):
+        for other in graph.item_neighbors(item):
+            if other != user:
+                counts[other] = counts.get(other, 0) + 1
+    return counts
+
+
+def two_hop_item_neighbors(graph: BipartiteGraph, item: Node) -> dict[Node, int]:
+    """Items sharing at least one user with ``item``, with shared-user counts.
+
+    The item-side mirror of :func:`two_hop_user_neighbors`
+    (Algorithm 3, line 22).
+    """
+    counts: dict[Node, int] = {}
+    for user in graph.item_neighbors(item):
+        for other in graph.user_neighbors(user):
+            if other != item:
+                counts[other] = counts.get(other, 0) + 1
+    return counts
+
+
+def common_item_neighbors(graph: BipartiteGraph, user_a: Node, user_b: Node) -> set[Node]:
+    """Items clicked by both users: ``adj(a) ∩ adj(b)``."""
+    neighbors_a = graph.user_neighbors(user_a)
+    neighbors_b = graph.user_neighbors(user_b)
+    if len(neighbors_a) > len(neighbors_b):
+        neighbors_a, neighbors_b = neighbors_b, neighbors_a
+    return {item for item in neighbors_a if item in neighbors_b}
+
+
+def common_user_neighbors(graph: BipartiteGraph, item_a: Node, item_b: Node) -> set[Node]:
+    """Users who clicked both items."""
+    neighbors_a = graph.item_neighbors(item_a)
+    neighbors_b = graph.item_neighbors(item_b)
+    if len(neighbors_a) > len(neighbors_b):
+        neighbors_a, neighbors_b = neighbors_b, neighbors_a
+    return {user for user in neighbors_a if user in neighbors_b}

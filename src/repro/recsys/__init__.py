@@ -1,0 +1,34 @@
+"""The I2I recommendation engine substrate — the system the attack targets.
+
+The paper motivates everything with TaoBao's item-to-item recommendation:
+clicking item A surfaces items with high I2I scores relative to A.  This
+subpackage provides a working miniature of that system so the repository
+can *demonstrate* the attack end to end: inject fake clicks, watch target
+items climb the recommendation list (:mod:`repro.recsys.engine`,
+:mod:`repro.recsys.impact`), detect the attack with RICD, clean the fake
+clicks, and watch exposure return to baseline
+(:mod:`repro.recsys.traffic`, reproducing the Fig. 10 case study).
+"""
+
+from .engine import I2IRecommender, Recommendation
+from .impact import (
+    AttackImpact,
+    attack_impact,
+    exposure_rank,
+    remove_detected_clicks,
+    remove_fake_clicks,
+)
+from .traffic import CampaignTimeline, TrafficModel, simulate_case_study
+
+__all__ = [
+    "I2IRecommender",
+    "Recommendation",
+    "AttackImpact",
+    "attack_impact",
+    "exposure_rank",
+    "remove_fake_clicks",
+    "remove_detected_clicks",
+    "TrafficModel",
+    "CampaignTimeline",
+    "simulate_case_study",
+]

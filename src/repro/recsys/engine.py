@@ -1,0 +1,101 @@
+"""A miniature I2I recommender over the click graph.
+
+Implements the Fig. 3 scoring model as a serving component: for an anchor
+item, candidate items are ranked by their I2I score (Eq. 1) — the share of
+co-click volume each candidate holds among everything co-clicked with the
+anchor.  Production systems blend in "other factors for a more
+comprehensive judgment", but the paper is explicit that "the I2I-score
+turns out to be the most valuable one", so the score is the ranking key
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.i2i import i2i_scores
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["Recommendation", "I2IRecommender"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One entry of a recommendation list."""
+
+    item: Node
+    score: float
+    rank: int
+
+
+class I2IRecommender:
+    """Top-k item-to-item recommender backed by a click graph.
+
+    Scores are computed lazily per anchor item and cached; mutating the
+    underlying graph requires a new recommender (or calling
+    :meth:`invalidate`), mirroring the batch-refresh behaviour of the
+    production system the paper describes.
+
+    Examples
+    --------
+    >>> from repro.graph import BipartiteGraph
+    >>> g = BipartiteGraph()
+    >>> for u, i, c in [("a", "hot", 1), ("a", "x", 3), ("b", "hot", 1), ("b", "y", 1)]:
+    ...     g.add_click(u, i, c)
+    >>> recs = I2IRecommender(g).recommend("hot", k=2)
+    >>> [r.item for r in recs]
+    ['x', 'y']
+    """
+
+    def __init__(self, graph: BipartiteGraph):
+        self._graph = graph
+        self._cache: dict[Node, list[Recommendation]] = {}
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The underlying click graph (treat as read-only)."""
+        return self._graph
+
+    def invalidate(self, anchor: Node | None = None) -> None:
+        """Drop cached rankings (for ``anchor`` only, or all of them)."""
+        if anchor is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(anchor, None)
+
+    def _ranked(self, anchor: Node) -> list[Recommendation]:
+        if anchor not in self._cache:
+            scores = i2i_scores(self._graph, anchor)
+            ordered = sorted(scores.items(), key=lambda pair: (-pair[1], str(pair[0])))
+            self._cache[anchor] = [
+                Recommendation(item=item, score=score, rank=rank)
+                for rank, (item, score) in enumerate(ordered, start=1)
+            ]
+        return self._cache[anchor]
+
+    def recommend(self, anchor: Node, k: int = 10) -> list[Recommendation]:
+        """The top-``k`` recommendations for a user who clicked ``anchor``.
+
+        Returns fewer than ``k`` entries when fewer items co-click with
+        the anchor; an anchor without co-clicks yields an empty list.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return self._ranked(anchor)[:k]
+
+    def rank_of(self, anchor: Node, item: Node) -> int | None:
+        """1-based rank of ``item`` in the anchor's full ranking, or ``None``."""
+        for recommendation in self._ranked(anchor):
+            if recommendation.item == item:
+                return recommendation.rank
+        return None
+
+    def score_of(self, anchor: Node, item: Node) -> float:
+        """The I2I score of ``item`` relative to ``anchor`` (0.0 if absent)."""
+        for recommendation in self._ranked(anchor):
+            if recommendation.item == item:
+                return recommendation.score
+        return 0.0

@@ -1,0 +1,176 @@
+"""Day-by-day traffic simulation for the Fig. 10 case study.
+
+The paper's case study tracks target items' traffic through a marketing
+campaign: abnormal (fake) traffic starts rising *before* the campaign
+(sellers post attack missions early), organic traffic follows once the
+inflated I2I scores start exposing the targets, detection + cleanup on
+day 9 collapses both, and the sellers delist the items a few days later.
+
+:class:`TrafficModel` reproduces that mechanism: fake clicks follow the
+campaign schedule directly, and organic clicks respond to *accumulated
+exposure* (recommendation-driven discovery lags the fake-click volume by a
+day), which is what produces the paper's characteristic rapid organic
+growth between campaign start and detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DataGenError
+
+__all__ = ["TrafficModel", "CampaignTimeline", "simulate_case_study"]
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Parameters of the case-study traffic simulation.
+
+    Day indices are 1-based and follow the paper's narrative: mission
+    posting before the campaign, campaign start day 6, detection day 9,
+    delisting day 13.
+
+    Parameters
+    ----------
+    total_days:
+        Simulation horizon.
+    attack_start_day:
+        First day with fake traffic (sellers "post attack missions before
+        the campaign starts").
+    campaign_day:
+        Marketing campaign start; fake traffic reaches its plateau here
+        and organic discovery accelerates.
+    detection_day:
+        Day RICD flags the group and the platform cleans fake clicks.
+    delist_day:
+        Day the sellers remove the target items from their store.
+    baseline_organic:
+        Pre-attack daily organic clicks across the target items.
+    peak_fake:
+        Plateau of daily fake clicks.
+    recommendation_gain:
+        Organic clicks gained per unit of previous-day exposure (the
+        I2I-mediated feedback loop).
+    noise:
+        Multiplicative day-to-day noise amplitude (0 disables).
+    seed:
+        RNG seed for the noise.
+    """
+
+    total_days: int = 14
+    attack_start_day: int = 3
+    campaign_day: int = 6
+    detection_day: int = 9
+    delist_day: int = 13
+    baseline_organic: float = 40.0
+    peak_fake: float = 300.0
+    recommendation_gain: float = 0.9
+    noise: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = (
+            1
+            <= self.attack_start_day
+            <= self.campaign_day
+            <= self.detection_day
+            <= self.delist_day
+            <= self.total_days
+        )
+        if not ordered:
+            raise DataGenError(
+                "day ordering must satisfy 1 <= attack_start <= campaign "
+                "<= detection <= delist <= total_days"
+            )
+        if self.baseline_organic < 0 or self.peak_fake < 0:
+            raise DataGenError("traffic volumes must be non-negative")
+        if self.recommendation_gain < 0:
+            raise DataGenError("recommendation_gain must be non-negative")
+        if not 0.0 <= self.noise < 1.0:
+            raise DataGenError("noise must lie in [0, 1)")
+
+
+@dataclass
+class CampaignTimeline:
+    """The simulated series behind Fig. 10.
+
+    Attributes
+    ----------
+    days:
+        1-based day indices.
+    fake_traffic:
+        Daily fake (crowd-worker) clicks on the target items.
+    organic_traffic:
+        Daily genuine-user clicks on the target items.
+    events:
+        ``{day: label}`` markers (campaign start, detection, delisting).
+    """
+
+    days: list[int] = field(default_factory=list)
+    fake_traffic: list[float] = field(default_factory=list)
+    organic_traffic: list[float] = field(default_factory=list)
+    events: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_traffic(self) -> list[float]:
+        """Element-wise fake + organic."""
+        return [f + o for f, o in zip(self.fake_traffic, self.organic_traffic)]
+
+    def peak_organic_day(self) -> int:
+        """Day with the highest organic traffic."""
+        index = max(
+            range(len(self.organic_traffic)), key=self.organic_traffic.__getitem__
+        )
+        return self.days[index]
+
+
+def simulate_case_study(model: TrafficModel | None = None) -> CampaignTimeline:
+    """Run the day loop and return the Fig. 10 timeline.
+
+    Mechanism per day ``d``:
+
+    * **fake**: zero before ``attack_start_day``; linear ramp from attack
+      start to the ``campaign_day`` plateau; plateau until detection; zero
+      after cleanup.
+    * **organic**: ``baseline + gain * exposure(d-1)``, where exposure is
+      the previous day's total traffic (recommendation feedback), reset to
+      baseline after cleanup and to zero after delisting.
+    """
+    model = model or TrafficModel()
+    rng = np.random.default_rng(model.seed)
+    timeline = CampaignTimeline(
+        events={
+            model.campaign_day: "campaign start",
+            model.detection_day: "RICD detection + cleanup",
+            model.delist_day: "targets delisted",
+        }
+    )
+    previous_total = model.baseline_organic
+    for day in range(1, model.total_days + 1):
+        if day < model.attack_start_day or day >= model.detection_day:
+            fake = 0.0
+        elif day < model.campaign_day:
+            ramp_span = max(1, model.campaign_day - model.attack_start_day)
+            fake = model.peak_fake * (day - model.attack_start_day + 1) / ramp_span
+        else:
+            fake = model.peak_fake
+
+        if day >= model.delist_day:
+            organic = 0.0
+        elif day < model.detection_day:
+            excess = max(0.0, previous_total - model.baseline_organic)
+            organic = model.baseline_organic + model.recommendation_gain * excess
+        else:
+            organic = model.baseline_organic  # traffic "restored to the normal level"
+
+        if model.noise:
+            fake *= 1.0 + rng.uniform(-model.noise, model.noise)
+            organic *= 1.0 + rng.uniform(-model.noise, model.noise)
+
+        timeline.days.append(day)
+        timeline.fake_traffic.append(fake)
+        timeline.organic_traffic.append(organic)
+        previous_total = fake + organic
+    return timeline

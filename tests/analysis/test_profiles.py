@@ -1,0 +1,107 @@
+"""Tests for the behavioural profile primitives."""
+
+import pytest
+
+from repro.analysis import classify_user, item_profile, user_profile
+from repro.analysis.profiles import NORMAL, SUPERFAN_LIKE, WORKER_LIKE
+from repro.graph import BipartiteGraph
+
+T_HOT = 50
+T_CLICK = 10
+
+
+@pytest.fixture()
+def behaviour_graph():
+    """One hot item (volume 60), one worker, one superfan, one normal user."""
+    graph = BipartiteGraph()
+    for index in range(30):
+        graph.add_click(f"bg{index}", "hot", 2)
+    # Worker: hot once, two heavy targets, one light disguise click.
+    graph.add_click("worker", "hot", 1)
+    graph.add_click("worker", "t1", 13)
+    graph.add_click("worker", "t2", 12)
+    graph.add_click("worker", "c1", 1)
+    # Superfan: binge on one product, heavy on hot too.
+    graph.add_click("fan", "hot", 9)
+    graph.add_click("fan", "gadget", 20)
+    # Normal: light everywhere.
+    graph.add_click("norm", "hot", 3)
+    graph.add_click("norm", "t1", 1)
+    return graph
+
+
+class TestUserProfile:
+    def test_worker_profile_fields(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "worker", T_HOT, T_CLICK)
+        assert profile.degree == 4
+        assert profile.hot_degree == 1
+        assert profile.hot_clicks == 1
+        assert profile.heavy_ordinary_items == 2
+        assert profile.max_ordinary_clicks == 13
+        assert profile.avg_hot_clicks == 1.0
+        assert profile.ordinary_degree == 3
+        assert profile.ordinary_click_stdev > 4  # 13/12 vs 1: high dispersion
+
+    def test_normal_profile(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "norm", T_HOT, T_CLICK)
+        assert profile.heavy_ordinary_items == 0
+        assert profile.avg_hot_clicks == 3.0
+
+    def test_hot_only_user(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "bg0", T_HOT, T_CLICK)
+        assert profile.ordinary_degree == 0
+        assert profile.max_ordinary_clicks == 0
+        assert profile.ordinary_click_stdev == 0.0
+
+    def test_missing_user_raises(self, behaviour_graph):
+        with pytest.raises(KeyError):
+            user_profile(behaviour_graph, "ghost", T_HOT, T_CLICK)
+
+
+class TestClassifyUser:
+    def test_worker_classified(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "worker", T_HOT, T_CLICK)
+        assert classify_user(profile, T_CLICK) == WORKER_LIKE
+
+    def test_superfan_classified(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "fan", T_HOT, T_CLICK)
+        assert classify_user(profile, T_CLICK) == SUPERFAN_LIKE
+
+    def test_normal_classified(self, behaviour_graph):
+        profile = user_profile(behaviour_graph, "norm", T_HOT, T_CLICK)
+        assert classify_user(profile, T_CLICK) == NORMAL
+
+    def test_hot_spammer_is_not_worker(self, behaviour_graph):
+        """Heavy ordinary clicks plus heavy hot clicks -> superfan-like."""
+        behaviour_graph.add_click("spam", "hot", 20)
+        behaviour_graph.add_click("spam", "t1", 15)
+        behaviour_graph.add_click("spam", "t2", 15)
+        profile = user_profile(behaviour_graph, "spam", T_HOT, T_CLICK)
+        assert classify_user(profile, T_CLICK) == SUPERFAN_LIKE
+
+    def test_triage_on_generated_scenario(self, small):
+        """Most diligent injected workers triage as worker-like."""
+        from repro.core.thresholds import pareto_hot_threshold, t_click_from_graph
+
+        t_hot = pareto_hot_threshold(small.graph)
+        t_click = t_click_from_graph(small.graph)
+        hits = 0
+        diligent = 0
+        for group in small.truth.groups:
+            for worker in group.workers:
+                profile = user_profile(small.graph, worker, t_hot, t_click)
+                if profile.heavy_ordinary_items >= 2:
+                    diligent += 1
+                    if classify_user(profile, t_click) == WORKER_LIKE:
+                        hits += 1
+        assert diligent > 0
+        assert hits >= 0.8 * diligent
+
+
+class TestItemProfile:
+    def test_concentration(self, behaviour_graph):
+        profile = item_profile(behaviour_graph, "t1")
+        assert profile.user_num == 2
+        assert profile.total_clicks == 14
+        assert profile.concentration == pytest.approx(7.0)
+        assert profile.max_clicks == 13

@@ -1,0 +1,43 @@
+"""Tests for the marketplace analysis report."""
+
+from repro.analysis import marketplace_report
+from repro.analysis.profiles import NORMAL, SUPERFAN_LIKE, WORKER_LIKE
+from repro.graph import BipartiteGraph
+
+
+class TestMarketplaceReport:
+    def test_counts_partition_users(self, small):
+        report = marketplace_report(small.graph)
+        assert sum(report.triage_counts.values()) == small.graph.num_users
+        assert set(report.triage_counts) == {WORKER_LIKE, SUPERFAN_LIKE, NORMAL}
+
+    def test_rough_screen_is_over_inclusive(self, small):
+        """Like the paper's 7% figure: the triage flags more than the truth."""
+        report = marketplace_report(small.graph)
+        diligent_workers = {
+            worker
+            for group in small.truth.groups
+            for worker in group.workers
+            if any(
+                small.graph.get_click(worker, t) >= report.t_click
+                for t in group.target_items
+            )
+        }
+        caught = diligent_workers & report.worker_like_users
+        assert len(caught) >= 0.7 * max(1, len(diligent_workers))
+        # Over-inclusive: organic superfans get flagged too.
+        assert len(report.worker_like_users) > len(caught)
+
+    def test_share_bounds(self, small):
+        report = marketplace_report(small.graph)
+        assert 0.0 < report.suspicious_user_share < 0.2
+
+    def test_render_contains_thresholds(self, small):
+        text = marketplace_report(small.graph).render()
+        assert "T_hot" in text
+        assert "worker-like" in text
+
+    def test_empty_graph(self):
+        report = marketplace_report(BipartiteGraph())
+        assert report.n_users == 0
+        assert report.suspicious_user_share == 0.0

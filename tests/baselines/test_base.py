@@ -1,0 +1,51 @@
+"""Tests for the detector protocol plumbing."""
+
+from repro.baselines import Detector, LabelPropagationDetector, NaiveDetector
+from repro.baselines.base import groups_from_communities
+from repro.core.framework import RICDDetector
+
+
+class TestGroupsFromCommunities:
+    def test_size_floors(self):
+        communities = [
+            ({"u1", "u2", "u3"}, {"i1", "i2"}),
+            ({"u4"}, {"i3", "i4", "i5"}),
+            ({"u5", "u6"}, {"i6"}),
+        ]
+        groups = groups_from_communities(communities, min_users=2, min_items=2)
+        assert len(groups) == 1
+        assert groups[0].users == {"u1", "u2", "u3"}
+
+    def test_sorted_largest_first(self):
+        communities = [
+            ({"a", "b"}, {"x", "y"}),
+            ({"c", "d", "e"}, {"z", "w", "v"}),
+        ]
+        groups = groups_from_communities(communities, min_users=2, min_items=2)
+        assert len(groups[0].users) == 3
+
+    def test_empty_input(self):
+        assert groups_from_communities([], 1, 1) == []
+
+    def test_sets_copied(self):
+        users = {"u1", "u2"}
+        groups = groups_from_communities([(users, {"i1", "i2"})], 2, 2)
+        groups[0].users.add("extra")
+        assert "extra" not in users
+
+
+class TestProtocol:
+    def test_detectors_satisfy_protocol(self):
+        for detector in (
+            RICDDetector(),
+            LabelPropagationDetector(),
+            NaiveDetector(),
+        ):
+            assert isinstance(detector, Detector)
+            assert isinstance(detector.name, str)
+
+    def test_arbitrary_object_fails_protocol(self):
+        class NotADetector:
+            pass
+
+        assert not isinstance(NotADetector(), Detector)

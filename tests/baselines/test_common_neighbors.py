@@ -1,0 +1,81 @@
+"""Tests for the Common Neighbors baseline."""
+
+import pytest
+
+from repro.baselines import CommonNeighborsDetector
+from repro.baselines.common_neighbors import strong_partner_map
+from repro.graph import BipartiteGraph
+
+from ..conftest import make_biclique
+
+
+class TestStrongPartnerMap:
+    def test_biclique_pairs_all_strong(self):
+        graph = BipartiteGraph()
+        users, _ = make_biclique(graph, 4, 5)
+        partners = strong_partner_map(graph, cn_threshold=5)
+        for user in users:
+            assert partners[user] == set(users) - {user}
+
+    def test_threshold_excludes_weak_pairs(self):
+        graph = BipartiteGraph()
+        for item in ("a", "b", "c"):
+            graph.add_click("u", item, 1)
+            graph.add_click("v", item, 1)
+        partners = strong_partner_map(graph, cn_threshold=4)
+        # u and v share only 3 items; with threshold 4 the candidate filter
+        # (degree >= 4) already drops both.
+        assert partners == {}
+
+    def test_low_degree_users_skipped(self):
+        graph = BipartiteGraph()
+        make_biclique(graph, 3, 5)
+        graph.add_click("lurker", "bi0", 1)
+        partners = strong_partner_map(graph, cn_threshold=5)
+        assert "lurker" not in partners
+
+    def test_invalid_threshold(self, simple_graph):
+        with pytest.raises(ValueError):
+            strong_partner_map(simple_graph, 0)
+
+
+class TestDetector:
+    def test_name(self):
+        assert CommonNeighborsDetector().name == "CN"
+
+    def test_planted_block_found(self):
+        graph = BipartiteGraph()
+        users, items = make_biclique(graph, 6, 6)
+        result = CommonNeighborsDetector(
+            cn_threshold=6, min_users=6, min_items=6
+        ).detect(graph)
+        assert result.suspicious_users == set(users)
+        assert set(items) <= result.suspicious_items
+
+    def test_ego_cluster_below_floor_undetected(self):
+        """The paper's CN criticism: small ego neighbourhoods are missed."""
+        graph = BipartiteGraph()
+        make_biclique(graph, 4, 6)  # each ego cluster has 4 users < floor 6
+        result = CommonNeighborsDetector(
+            cn_threshold=6, min_users=6, min_items=6
+        ).detect(graph)
+        assert not result.suspicious_users
+
+    def test_min_supporters_filters_items(self):
+        graph = BipartiteGraph()
+        users, _items = make_biclique(graph, 5, 5)
+        graph.add_click(users[0], "solo_item", 1)
+        result = CommonNeighborsDetector(
+            cn_threshold=5, min_users=5, min_items=5, min_supporters=2
+        ).detect(graph)
+        assert "solo_item" not in result.suspicious_items
+
+    def test_empty_graph(self, empty_graph):
+        result = CommonNeighborsDetector().detect(empty_graph)
+        assert not result.suspicious_users
+
+    def test_timing_recorded(self, tiny):
+        result = CommonNeighborsDetector(cn_threshold=4, min_users=4, min_items=4).detect(
+            tiny.graph
+        )
+        assert "detection" in result.timings

@@ -1,0 +1,75 @@
+"""Tests for the Label Propagation baseline."""
+
+import pytest
+
+from repro.baselines import LabelPropagationDetector
+from repro.baselines.lpa import propagate_labels
+from repro.graph import BipartiteGraph
+
+from ..conftest import make_biclique
+
+
+class TestPropagateLabels:
+    def test_dense_block_converges_to_one_label(self):
+        graph = BipartiteGraph()
+        users, items = make_biclique(graph, 5, 5)
+        labels = propagate_labels(graph, max_round=20, seed=0)
+        block = {labels[("user", u)] for u in users} | {
+            labels[("item", i)] for i in items
+        }
+        assert len(block) == 1
+
+    def test_disconnected_blocks_distinct_labels(self):
+        graph = BipartiteGraph()
+        make_biclique(graph, 4, 4, user_prefix="au", item_prefix="ai")
+        make_biclique(graph, 4, 4, user_prefix="bu", item_prefix="bi")
+        labels = propagate_labels(graph, seed=0)
+        assert labels[("user", "au0")] != labels[("user", "bu0")]
+
+    def test_zero_rounds_keeps_unique_labels(self, simple_graph):
+        labels = propagate_labels(simple_graph, max_round=0)
+        assert len(set(labels.values())) == len(labels)
+
+    def test_negative_rounds_rejected(self, simple_graph):
+        with pytest.raises(ValueError):
+            propagate_labels(simple_graph, max_round=-1)
+
+    def test_deterministic_for_seed(self, small):
+        a = propagate_labels(small.graph, seed=5)
+        b = propagate_labels(small.graph, seed=5)
+        assert a == b
+
+    def test_isolated_node_keeps_label(self):
+        graph = BipartiteGraph()
+        graph.add_user("alone")
+        graph.add_click("u", "i", 1)
+        labels = propagate_labels(graph)
+        assert ("user", "alone") in labels
+
+
+class TestDetector:
+    def test_name(self):
+        assert LabelPropagationDetector().name == "LPA"
+
+    def test_finds_planted_block(self):
+        graph = BipartiteGraph()
+        users, items = make_biclique(graph, 6, 6)
+        graph.add_click("stray", "elsewhere", 1)
+        result = LabelPropagationDetector(min_users=5, min_items=5).detect(graph)
+        assert set(users) <= result.suspicious_users
+        assert set(items) <= result.suspicious_items
+
+    def test_size_floors_filter(self):
+        graph = BipartiteGraph()
+        make_biclique(graph, 3, 3)
+        result = LabelPropagationDetector(min_users=5, min_items=5).detect(graph)
+        assert not result.suspicious_users
+
+    def test_timing_recorded(self, tiny):
+        result = LabelPropagationDetector(min_users=4, min_items=4).detect(tiny.graph)
+        assert result.timings["detection"] > 0
+
+    def test_covers_attack_workers(self, small):
+        result = LabelPropagationDetector(min_users=5, min_items=5).detect(small.graph)
+        covered = result.suspicious_users & small.truth.abnormal_users
+        assert len(covered) >= 0.5 * len(small.truth.abnormal_users)

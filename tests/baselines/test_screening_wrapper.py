@@ -1,0 +1,108 @@
+"""Tests for the "+UI" screening wrapper and the naive adapter."""
+
+from repro.baselines import (
+    LabelPropagationDetector,
+    NaiveDetector,
+    WithScreening,
+)
+from repro.config import ScreeningParams
+from repro.core.naive import NaiveParams
+from repro.graph import BipartiteGraph
+
+from ..conftest import make_biclique
+
+
+def attackish_graph():
+    """A heavy-click biclique (attack-like) plus a light cohort block, over
+    an organic background that makes the thresholds sane."""
+    graph = BipartiteGraph()
+    make_biclique(graph, 5, 5, clicks=13, user_prefix="w", item_prefix="t")
+    make_biclique(graph, 6, 6, clicks=2, user_prefix="c", item_prefix="ci")
+    for index in range(150):
+        graph.add_click(f"bg{index}", "popular", 3)
+        graph.add_click(f"bg{index}", f"long_tail{index % 40}", 1)
+    return graph
+
+
+class TestWithScreening:
+    def test_name_suffix(self):
+        wrapped = WithScreening(LabelPropagationDetector())
+        assert wrapped.name == "LPA+UI"
+
+    def test_screening_removes_cohort_keeps_workers(self):
+        graph = attackish_graph()
+        inner = LabelPropagationDetector(min_users=5, min_items=5)
+        wrapped = WithScreening(
+            inner,
+            screening=ScreeningParams(min_users=2, min_items=2),
+            t_hot=300.0,
+            t_click=10.0,
+            min_users=5,
+            min_items=5,
+        )
+        raw = inner.detect(graph)
+        screened = wrapped.detect(graph)
+        workers = {f"w{i}" for i in range(5)}
+        cohort = {f"c{i}" for i in range(6)}
+        assert workers <= raw.suspicious_users
+        assert workers <= screened.suspicious_users
+        assert not (cohort & screened.suspicious_users)
+
+    def test_precision_never_decreases(self, small):
+        """On the integration scenario, screening can only help precision."""
+        inner = LabelPropagationDetector(min_users=5, min_items=5)
+        wrapped = WithScreening(
+            inner,
+            screening=ScreeningParams(min_users=2, min_items=2),
+            min_users=5,
+            min_items=5,
+        )
+        truth_nodes = small.truth.abnormal_nodes
+
+        def precision(result):
+            output = result.suspicious_nodes
+            return len(output & truth_nodes) / len(output) if output else 1.0
+
+        assert precision(wrapped.detect(small.graph)) >= precision(
+            inner.detect(small.graph)
+        )
+
+    def test_timing_split_recorded(self, small):
+        wrapped = WithScreening(
+            LabelPropagationDetector(min_users=5, min_items=5),
+            min_users=5,
+            min_items=5,
+        )
+        result = wrapped.detect(small.graph)
+        assert "detection" in result.timings
+        assert "screening" in result.timings
+
+    def test_derives_thresholds_when_unset(self, small):
+        wrapped = WithScreening(
+            LabelPropagationDetector(min_users=5, min_items=5),
+            min_users=5,
+            min_items=5,
+        )
+        result = wrapped.detect(small.graph)  # must not raise
+        assert isinstance(result.suspicious_users, set)
+
+    def test_small_groups_filtered_before_screening(self):
+        graph = attackish_graph()
+        inner = LabelPropagationDetector(min_users=2, min_items=2)
+        wrapped = WithScreening(inner, min_users=50, min_items=50)
+        result = wrapped.detect(graph)
+        assert not result.suspicious_users
+
+
+class TestNaiveAdapter:
+    def test_name(self):
+        assert NaiveDetector().name == "Naive"
+
+    def test_params_passed_through(self, tiny):
+        adapter = NaiveDetector(params=NaiveParams(t_hot=50.0, t_risk=1e12, t_risk_user=1e12))
+        result = adapter.detect(tiny.graph)
+        assert not result.suspicious_items  # absurd threshold finds nothing
+
+    def test_detect_returns_result(self, tiny):
+        result = NaiveDetector().detect(tiny.graph)
+        assert "detection" in result.timings

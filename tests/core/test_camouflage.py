@@ -1,0 +1,113 @@
+"""Tests for the Zarankiewicz camouflage bound (Section V-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RICDParams
+from repro.core.camouflage import (
+    contains_biclique,
+    kovari_sos_turan_bound,
+    undetected_campaign_bound,
+    zarankiewicz_upper_bound,
+)
+
+#: Known exact Zarankiewicz numbers z(m, n; 2, 2) (no K_{2,2} / 4-cycle).
+EXACT_Z22 = {(3, 3): 6, (4, 4): 9, (5, 5): 12, (6, 6): 16}
+
+
+class TestKSTBound:
+    @pytest.mark.parametrize(("m", "n"), sorted(EXACT_Z22))
+    def test_upper_bounds_known_values(self, m, n):
+        assert zarankiewicz_upper_bound(m, n, 2, 2) >= EXACT_Z22[(m, n)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kovari_sos_turan_bound(3, 3, 4, 2)  # s > m
+        with pytest.raises(ValueError):
+            kovari_sos_turan_bound(3, 3, 2, 0)  # t < 1
+
+    def test_trivial_clamp(self):
+        assert zarankiewicz_upper_bound(2, 2, 1, 1) <= 4
+
+    @given(
+        m=st.integers(min_value=2, max_value=40),
+        n=st.integers(min_value=2, max_value=40),
+    )
+    @settings(max_examples=60)
+    def test_bound_grows_sublinearly_per_account(self, m, n):
+        """Property (3)'s economics: doubling accounts less than doubles
+        the per-account invisible budget's growth exponent."""
+        s = min(3, m)
+        t = min(3, n)
+        single = zarankiewicz_upper_bound(m, n, s, t)
+        doubled = zarankiewicz_upper_bound(2 * m, n, s, t)
+        assert doubled <= 2 * single + 2 * m  # strictly sublinear plus slack
+
+    @given(
+        m=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=40)
+    def test_bound_at_least_trivially_safe_edges(self, m, n):
+        """Any K_{2,2}-free construction (a star) must fit under the bound."""
+        assert zarankiewicz_upper_bound(m, n, 2, 2) >= max(m, n)
+
+
+class TestCampaignBound:
+    def test_paper_defaults(self):
+        params = RICDParams(k1=10, k2=10)
+        bound = undetected_campaign_bound(28, 13, params)
+        # The case-study campaign placed ~28 x 11 target edges ~ 308 plus
+        # hot edges — far above the invisible ceiling.
+        assert bound < 28 * 13
+
+    def test_small_campaigns_unconstrained(self):
+        params = RICDParams(k1=10, k2=10)
+        # Fewer accounts than k1: the forbidden biclique cannot form at all,
+        # so the clamp keeps the bound at the trivial m*n ceiling.
+        assert undetected_campaign_bound(5, 20, params) <= 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            undetected_campaign_bound(0, 5, RICDParams())
+
+
+class TestContainsBiclique:
+    def test_full_biclique_found(self):
+        edges = {(u, i) for u in range(3) for i in "abc"}
+        assert contains_biclique(edges, 3, 3)
+        assert contains_biclique(edges, 2, 2)
+
+    def test_star_is_free_of_k22(self):
+        edges = {(0, i) for i in range(10)}
+        assert not contains_biclique(edges, 2, 2)
+
+    def test_matching_is_free(self):
+        edges = {(u, u) for u in range(6)}
+        assert not contains_biclique(edges, 2, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            contains_biclique(set(), 0, 1)
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60)
+    def test_free_edge_sets_respect_the_bound(self, edges):
+        """Any actually-K_{2,2}-free edge set sits under the KST bound."""
+        if not edges or contains_biclique(edges, 2, 2):
+            return
+        users = {u for u, _ in edges}
+        items = {i for _, i in edges}
+        if len(users) < 2 or len(items) < 2:
+            return  # the forbidden K_{2,2} cannot even fit
+        bound = zarankiewicz_upper_bound(len(users), len(items), 2, 2)
+        assert len(edges) <= bound

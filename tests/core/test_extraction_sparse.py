@@ -1,0 +1,90 @@
+"""Tests for the scipy-sparse extraction engine.
+
+The key property: the sparse simultaneous evaluation and the reference
+sequential evaluation converge to the same (greatest) fixpoint — the
+pruning conditions are anti-monotone in the surviving set, so the
+fixpoint is unique regardless of removal order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RICDParams
+from repro.core.extraction import extract_groups, prune_to_fixpoint
+from repro.core.extraction_sparse import (
+    extract_groups_sparse,
+    prune_to_fixpoint_sparse,
+    sparse_available,
+)
+from repro.graph import BipartiteGraph, from_click_records
+
+from ..conftest import make_biclique
+
+pytestmark = pytest.mark.skipif(
+    not sparse_available(), reason="scipy not installed"
+)
+
+records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11).map(lambda n: f"u{n}"),
+        st.integers(min_value=0, max_value=11).map(lambda n: f"i{n}"),
+        st.just(1),
+    ),
+    max_size=80,
+)
+
+param_values = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([0.5, 0.7, 1.0]),
+)
+
+
+@given(records, param_values)
+@settings(max_examples=80, deadline=None)
+def test_sparse_matches_reference(rows, values):
+    k1, k2, alpha = values
+    params = RICDParams(k1=k1, k2=k2, alpha=alpha)
+    reference = from_click_records(rows)
+    prune_to_fixpoint(reference, params)
+    graph = from_click_records(rows)
+    users, items = prune_to_fixpoint_sparse(graph, params)
+    assert users == set(reference.users())
+    assert items == set(reference.items())
+
+
+def test_planted_biclique(small):
+    graph = BipartiteGraph()
+    users, items = make_biclique(graph, 5, 5)
+    graph.add_click("noise", "bi0", 1)
+    groups = extract_groups_sparse(graph, RICDParams(k1=5, k2=5))
+    assert len(groups) == 1
+    assert groups[0].users == set(users)
+
+
+def test_matches_reference_on_scenario(small):
+    params = RICDParams(k1=5, k2=5)
+    reference_groups = extract_groups(small.graph, params)
+    sparse_groups = extract_groups_sparse(small.graph, params)
+    as_sets = lambda groups: {
+        (frozenset(map(str, g.users)), frozenset(map(str, g.items))) for g in groups
+    }
+    assert as_sets(sparse_groups) == as_sets(reference_groups)
+
+
+def test_max_size_filters(small):
+    graph = BipartiteGraph()
+    make_biclique(graph, 10, 4)
+    assert extract_groups_sparse(graph, RICDParams(k1=4, k2=4), max_users=8) == []
+
+
+def test_empty_graph():
+    users, items = prune_to_fixpoint_sparse(BipartiteGraph(), RICDParams())
+    assert users == set() and items == set()
+
+
+def test_input_not_modified(small):
+    before = small.graph.copy()
+    extract_groups_sparse(small.graph, RICDParams(k1=5, k2=5))
+    assert small.graph == before

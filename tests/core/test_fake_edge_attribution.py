@@ -1,0 +1,115 @@
+"""Tests for detection-driven fake-edge attribution and cleanup."""
+
+import pytest
+
+from repro.config import RICDParams, ScreeningParams
+from repro.core import RICDDetector
+from repro.core.groups import SuspiciousGroup
+from repro.core.screening import collect_fake_edges
+from repro.errors import ScreeningError
+from repro.graph import BipartiteGraph
+from repro.recsys import remove_detected_clicks
+
+
+@pytest.fixture()
+def attacked_graph():
+    """Two workers boosting t1/t2, riding hot h, camouflaging on c1/c2."""
+    graph = BipartiteGraph()
+    for index in range(40):
+        graph.add_click(f"bg{index}", "h", 3)
+    for worker in ("w1", "w2"):
+        graph.add_click(worker, "h", 1)
+        graph.add_click(worker, "t1", 13)
+        graph.add_click(worker, "t2", 12)
+        graph.add_click(worker, "c1", 1)
+    graph.add_click("w1", "c2", 2)
+    # An organic bystander clicking a target once.
+    graph.add_click("organic", "t1", 1)
+    return graph
+
+
+@pytest.fixture()
+def detected_group():
+    return SuspiciousGroup(users={"w1", "w2"}, items={"t1", "t2"}, hot_items={"h"})
+
+
+class TestCollectFakeEdges:
+    def test_boost_edges_collected(self, attacked_graph, detected_group):
+        edges = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        pairs = {(user, item) for user, item, _c in edges}
+        assert ("w1", "t1") in pairs
+        assert ("w2", "t2") in pairs
+
+    def test_hot_rides_collected(self, attacked_graph, detected_group):
+        edges = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        pairs = {(user, item) for user, item, _c in edges}
+        assert ("w1", "h") in pairs
+
+    def test_disguise_edges_collected(self, attacked_graph, detected_group):
+        # c1 carries 1 click vs heaviest target 13: 1 * ratio(4) <= 13.
+        edges = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        pairs = {(user, item) for user, item, _c in edges}
+        assert ("w1", "c1") in pairs
+        assert ("w1", "c2") in pairs
+
+    def test_organic_bystander_untouched(self, attacked_graph, detected_group):
+        edges = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        assert all(user != "organic" for user, _i, _c in edges)
+
+    def test_disguise_ratio_guards_real_history(self, attacked_graph):
+        """A hijacked account's genuinely heavy organic edge survives."""
+        attacked_graph.add_click("w1", "beloved", 8)  # 8 * 4 > 13 -> kept
+        group = SuspiciousGroup(users={"w1", "w2"}, items={"t1", "t2"}, hot_items=set())
+        edges = collect_fake_edges(
+            attacked_graph, group, t_click=10, params=ScreeningParams(disguise_ratio=4.0)
+        )
+        assert all(item != "beloved" for _u, item, _c in edges)
+
+    def test_invalid_t_click(self, attacked_graph, detected_group):
+        with pytest.raises(ScreeningError):
+            collect_fake_edges(attacked_graph, detected_group, t_click=0)
+
+    def test_deterministic_order(self, attacked_graph, detected_group):
+        first = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        second = collect_fake_edges(attacked_graph, detected_group, t_click=10)
+        assert first == second
+
+    def test_missing_users_skipped(self, attacked_graph):
+        group = SuspiciousGroup(users={"ghost"}, items={"t1"})
+        assert collect_fake_edges(attacked_graph, group, t_click=10) == []
+
+
+class TestRemoveDetectedClicks:
+    def test_end_to_end_cleanup(self, small):
+        detector = RICDDetector(params=RICDParams(k1=5, k2=5))
+        result = detector.detect(small.graph)
+        resolved = detector.resolve_thresholds(small.graph)
+        cleaned = remove_detected_clicks(small.graph, result, t_click=resolved.t_click)
+        assert cleaned.total_clicks < small.graph.total_clicks
+        # Every detected boost edge is gone.
+        for group in result.groups:
+            for user in group.users:
+                for item in group.items:
+                    if small.graph.get_click(user, item) >= resolved.t_click:
+                        assert not cleaned.has_edge(user, item)
+
+    def test_original_untouched(self, small):
+        detector = RICDDetector(params=RICDParams(k1=5, k2=5))
+        result = detector.detect(small.graph)
+        before = small.graph.copy()
+        remove_detected_clicks(small.graph, result, t_click=12)
+        assert small.graph == before
+
+    def test_cleanup_reduces_target_exposure(self, small):
+        """After cleanup, detected target items lose their fake volume."""
+        detector = RICDDetector(params=RICDParams(k1=5, k2=5))
+        result = detector.detect(small.graph)
+        if not result.suspicious_items:
+            pytest.skip("nothing detected on this seed")
+        resolved = detector.resolve_thresholds(small.graph)
+        cleaned = remove_detected_clicks(small.graph, result, t_click=resolved.t_click)
+        for item in result.suspicious_items:
+            assert (
+                cleaned.item_total_clicks(item)
+                < small.graph.item_total_clicks(item)
+            )

@@ -1,0 +1,111 @@
+"""Tests for the I2I score model (Eq. 1) and attacker optimum (Eq. 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.i2i import (
+    attack_score_gain,
+    attacked_i2i_score,
+    co_click_counts,
+    i2i_scores,
+    optimal_attack_allocation,
+)
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture()
+def co_click_graph():
+    """Hot item co-clicked with x (4 clicks via a) and y (1 click via b)."""
+    graph = BipartiteGraph()
+    graph.add_click("a", "hot", 1)
+    graph.add_click("a", "x", 4)
+    graph.add_click("b", "hot", 2)
+    graph.add_click("b", "y", 1)
+    graph.add_click("c", "z", 9)  # never co-clicks with hot
+    return graph
+
+
+class TestCoClickCounts:
+    def test_counts(self, co_click_graph):
+        assert co_click_counts(co_click_graph, "hot") == {"x": 4, "y": 1}
+
+    def test_excludes_anchor(self, co_click_graph):
+        assert "hot" not in co_click_counts(co_click_graph, "hot")
+
+    def test_isolated_anchor(self):
+        graph = BipartiteGraph()
+        graph.add_item("hot")
+        assert co_click_counts(graph, "hot") == {}
+
+
+class TestI2IScores:
+    def test_normalised(self, co_click_graph):
+        scores = i2i_scores(co_click_graph, "hot")
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["x"] == pytest.approx(0.8)
+        assert scores["y"] == pytest.approx(0.2)
+
+    def test_empty_when_no_co_clicks(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "hot", 3)
+        assert i2i_scores(graph, "hot") == {}
+
+
+class TestAttackedScore:
+    def test_eq2_formula(self):
+        # S = (1 + 10) / (500 + 11 + 0)
+        score = attacked_i2i_score(500, 1, 10, 0)
+        assert score == pytest.approx(11 / 511)
+
+    def test_accepts_mapping(self):
+        score = attacked_i2i_score({"x": 300, "y": 200}, 1, 10)
+        assert score == pytest.approx(11 / 511)
+
+    def test_wasted_clicks_lower_score(self):
+        concentrated = attacked_i2i_score(500, 1, 10, 0)
+        spread = attacked_i2i_score(500, 1, 5, 5)
+        assert concentrated > spread
+
+    def test_zero_denominator(self):
+        assert attacked_i2i_score(0, 0, 0, 0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            attacked_i2i_score(10, -1, 0)
+        with pytest.raises(ValueError):
+            attacked_i2i_score(10, 0, -1)
+
+
+class TestOptimum:
+    def test_allocation(self):
+        assert optimal_attack_allocation(12) == (1, 11)
+
+    def test_minimum_budget(self):
+        assert optimal_attack_allocation(2) == (1, 1)
+        with pytest.raises(ValueError):
+            optimal_attack_allocation(1)
+
+    @given(
+        budget=st.integers(min_value=2, max_value=40),
+        existing=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_concentration_dominates_every_split(self, budget, existing):
+        """Eq. 3: no (C', C) split beats C' = C = C_b - 2."""
+        best = attack_score_gain(existing, budget)
+        spendable = budget - 2
+        for total in range(spendable + 1):
+            for on_target in range(total + 1):
+                score = attacked_i2i_score(existing, 1, on_target, total - on_target)
+                assert score <= best + 1e-12
+
+    @given(existing=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=40)
+    def test_gain_monotone_in_budget(self, existing):
+        gains = [attack_score_gain(existing, budget) for budget in range(2, 20)]
+        assert all(a <= b + 1e-12 for a, b in zip(gains, gains[1:]))
+
+    def test_gain_decreases_with_popularity(self):
+        """Riding a busier hot item yields less score per click."""
+        assert attack_score_gain(100, 12) > attack_score_gain(10_000, 12)

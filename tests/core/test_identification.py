@@ -1,0 +1,131 @@
+"""Tests for risk scoring, ranking and the feedback relaxation."""
+
+import pytest
+
+from repro.config import FeedbackPolicy, RICDParams, ScreeningParams
+from repro.core.groups import DetectionResult, SuspiciousGroup
+from repro.core.identification import (
+    adjust_parameters,
+    assemble_result,
+    output_size,
+    score_groups,
+)
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture()
+def scored_graph():
+    graph = BipartiteGraph()
+    graph.add_click("w1", "t1", 12)
+    graph.add_click("w1", "t2", 12)
+    graph.add_click("w2", "t1", 12)
+    graph.add_click("other", "t1", 1)
+    return graph
+
+
+@pytest.fixture()
+def group():
+    return SuspiciousGroup(users={"w1", "w2"}, items={"t1", "t2"})
+
+
+class TestScoreGroups:
+    def test_user_score_counts_suspicious_items(self, scored_graph, group):
+        user_scores, _ = score_groups(scored_graph, [group])
+        assert user_scores["w1"] == 2.0
+        assert user_scores["w2"] == 1.0
+
+    def test_item_score_averages_user_risks(self, scored_graph, group):
+        user_scores, item_scores = score_groups(scored_graph, [group])
+        # t1 clicked by w1 (risk 2) and w2 (risk 1); "other" is not suspicious.
+        assert item_scores["t1"] == pytest.approx(1.5)
+        assert item_scores["t2"] == pytest.approx(2.0)
+
+    def test_missing_nodes_scored_zero(self, scored_graph):
+        ghost = SuspiciousGroup(users={"ghost"}, items={"phantom"})
+        user_scores, item_scores = score_groups(scored_graph, [ghost])
+        assert user_scores["ghost"] == 0.0
+        assert item_scores["phantom"] == 0.0
+
+    def test_empty_groups(self, scored_graph):
+        assert score_groups(scored_graph, []) == ({}, {})
+
+
+class TestAssembleResult:
+    def test_union_and_scores(self, scored_graph, group):
+        result = assemble_result(scored_graph, [group])
+        assert result.suspicious_users == {"w1", "w2"}
+        assert result.suspicious_items == {"t1", "t2"}
+        assert result.top_users(1) == [("w1", 2.0)]
+
+    def test_top_k_ordering_is_deterministic(self, scored_graph):
+        groups = [SuspiciousGroup(users={"w1", "w2"}, items={"t1"})]
+        result = assemble_result(scored_graph, groups)
+        # w2 and... ties broken by id string.
+        names = [name for name, _score in result.top_users(5)]
+        assert names == sorted(names, key=lambda n: (-result.user_scores[n], str(n)))
+
+
+class TestOutputSize:
+    def test_counts_distinct_nodes(self, group):
+        other = SuspiciousGroup(users={"w2", "w3"}, items={"t2"})
+        assert output_size([group, other]) == 3 + 2  # users {w1,w2,w3}, items {t1,t2}
+
+    def test_empty(self):
+        assert output_size([]) == 0
+
+
+class TestAdjustParameters:
+    def test_t_click_decreases_with_floor(self):
+        params = RICDParams(t_click=12.0)
+        policy = FeedbackPolicy(t_click_step=4.0, alpha_step=0.0)
+        relaxed, _ = adjust_parameters(params, ScreeningParams(), policy)
+        assert relaxed.t_click == 8.0
+        for _round in range(10):
+            relaxed, _ = adjust_parameters(relaxed, ScreeningParams(), policy)
+        assert relaxed.t_click == 2.0
+
+    def test_alpha_decreases_with_floor(self):
+        params = RICDParams(alpha=1.0, t_click=12.0)
+        policy = FeedbackPolicy(alpha_step=0.2, alpha_floor=0.7, t_click_step=0.0)
+        relaxed, _ = adjust_parameters(params, ScreeningParams(), policy)
+        assert relaxed.alpha == pytest.approx(0.8)
+        relaxed, _ = adjust_parameters(relaxed, ScreeningParams(), policy)
+        assert relaxed.alpha == pytest.approx(0.7)  # floored
+
+    def test_shrink_k(self):
+        params = RICDParams(k1=3, k2=3, t_click=12.0)
+        policy = FeedbackPolicy(shrink_k=True)
+        relaxed, _ = adjust_parameters(params, ScreeningParams(), policy)
+        assert (relaxed.k1, relaxed.k2) == (2, 2)
+        relaxed, _ = adjust_parameters(relaxed, ScreeningParams(), policy)
+        assert (relaxed.k1, relaxed.k2) == (2, 2)  # floored at 2
+
+    def test_inputs_untouched(self):
+        params = RICDParams(t_click=12.0)
+        adjust_parameters(params, ScreeningParams(), FeedbackPolicy())
+        assert params.t_click == 12.0
+
+    def test_unresolved_t_click_left_alone(self):
+        params = RICDParams()  # t_click=None
+        relaxed, _ = adjust_parameters(params, ScreeningParams(), FeedbackPolicy())
+        assert relaxed.t_click is None
+
+
+class TestDetectionResultHelpers:
+    def test_from_groups(self, group):
+        result = DetectionResult.from_groups([group])
+        assert result.suspicious_users == group.users
+        assert result.suspicious_items == group.items
+
+    def test_elapsed_sums_timings(self):
+        result = DetectionResult(timings={"a": 1.0, "b": 0.5})
+        assert result.elapsed == pytest.approx(1.5)
+
+    def test_suspicious_nodes_union(self, group):
+        result = DetectionResult.from_groups([group])
+        assert result.suspicious_nodes == {"w1", "w2", "t1", "t2"}
+
+    def test_group_copy_is_independent(self, group):
+        clone = group.copy()
+        clone.users.add("extra")
+        assert "extra" not in group.users

@@ -1,0 +1,122 @@
+"""Property-based tests of the screening module's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ScreeningParams
+from repro.core.groups import SuspiciousGroup
+from repro.core.screening import (
+    item_behavior_verification,
+    screen_groups,
+    user_behavior_check,
+)
+from repro.graph import from_click_records
+
+records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9).map(lambda n: f"u{n}"),
+        st.integers(min_value=0, max_value=9).map(lambda n: f"i{n}"),
+        st.integers(min_value=1, max_value=30),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+thresholds = st.tuples(
+    st.integers(min_value=5, max_value=60),  # t_hot
+    st.integers(min_value=2, max_value=15),  # t_click
+)
+
+
+def whole_graph_group(graph) -> SuspiciousGroup:
+    return SuspiciousGroup(users=set(graph.users()), items=set(graph.items()))
+
+
+PARAMS = ScreeningParams(min_users=1, min_items=1)
+
+
+@given(records, thresholds)
+@settings(max_examples=80)
+def test_user_check_output_is_subset(rows, bounds):
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    result = user_behavior_check(graph, group, t_hot, t_click, PARAMS)
+    assert result.users <= group.users
+    assert result.items == group.items  # items never touched by this step
+    assert result.hot_items <= group.items
+
+
+@given(records, thresholds)
+@settings(max_examples=80)
+def test_user_check_survivors_have_heavy_ordinary_click(rows, bounds):
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    result = user_behavior_check(graph, group, t_hot, t_click, PARAMS)
+    for user in result.users:
+        heavy = any(
+            clicks >= t_click
+            for item, clicks in graph.user_neighbors(user).items()
+            if graph.item_total_clicks(item) < t_hot
+        )
+        assert heavy
+
+
+@given(records, thresholds)
+@settings(max_examples=80)
+def test_item_verification_output_within_group(rows, bounds):
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    finals = item_behavior_verification(graph, group, t_hot, t_click, PARAMS)
+    for final in finals:
+        assert final.users <= group.users
+        assert final.items <= group.items
+        # Verified items are ordinary (below the hot threshold).
+        for item in final.items:
+            assert graph.item_total_clicks(item) < t_hot
+        # Every final user has a heavy edge to some final item.
+        for user in final.users:
+            assert any(
+                graph.get_click(user, item) >= t_click for item in final.items
+            )
+
+
+@given(records, thresholds)
+@settings(max_examples=60)
+def test_final_groups_have_disjoint_items(rows, bounds):
+    """Coincidence clustering partitions verified items (users may repeat)."""
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    finals = item_behavior_verification(graph, group, t_hot, t_click, PARAMS)
+    seen: set = set()
+    for final in finals:
+        assert not (final.items & seen)
+        seen |= final.items
+
+
+@given(records, thresholds)
+@settings(max_examples=60)
+def test_screen_groups_deterministic(rows, bounds):
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    first = screen_groups(graph, [group], t_hot, t_click, PARAMS)
+    second = screen_groups(graph, [group], t_hot, t_click, PARAMS)
+    assert [(g.users, g.items) for g in first] == [(g.users, g.items) for g in second]
+
+
+@given(records, thresholds)
+@settings(max_examples=60)
+def test_screening_never_invents_nodes(rows, bounds):
+    t_hot, t_click = bounds
+    graph = from_click_records(rows)
+    group = whole_graph_group(graph)
+    finals = screen_groups(graph, [group], t_hot, t_click, PARAMS)
+    all_users = set(graph.users())
+    all_items = set(graph.items())
+    for final in finals:
+        assert final.users <= all_users
+        assert final.items <= all_items

@@ -1,0 +1,99 @@
+"""Tests for T_hot (Pareto rule) and T_click (Eq. 4)."""
+
+import pytest
+
+from repro.core.thresholds import (
+    classify_items,
+    hot_items,
+    pareto_hot_threshold,
+    t_click_from_graph,
+    t_click_threshold,
+)
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture()
+def skewed_graph():
+    """One dominant item (80 clicks) plus a tail (20 clicks total)."""
+    graph = BipartiteGraph()
+    graph.add_click("a", "head", 80)
+    graph.add_click("a", "mid", 12)
+    graph.add_click("b", "tail1", 5)
+    graph.add_click("b", "tail2", 3)
+    return graph
+
+
+class TestParetoHotThreshold:
+    def test_dominant_item_is_boundary(self, skewed_graph):
+        assert pareto_hot_threshold(skewed_graph, 0.8) == 80
+
+    def test_larger_mass_reaches_deeper(self, skewed_graph):
+        assert pareto_hot_threshold(skewed_graph, 0.95) == 5
+
+    def test_empty_graph_returns_one(self, empty_graph):
+        assert pareto_hot_threshold(empty_graph) == 1
+
+    def test_clickless_items(self):
+        graph = BipartiteGraph()
+        graph.add_item("ghost")
+        assert pareto_hot_threshold(graph) == 1
+
+    def test_invalid_fraction(self, skewed_graph):
+        with pytest.raises(ValueError):
+            pareto_hot_threshold(skewed_graph, 0.0)
+        with pytest.raises(ValueError):
+            pareto_hot_threshold(skewed_graph, 1.1)
+
+    def test_mass_accounting(self, skewed_graph):
+        """Items at/above the threshold must hold >= the mass fraction."""
+        threshold = pareto_hot_threshold(skewed_graph, 0.8)
+        hot_mass = sum(
+            skewed_graph.item_total_clicks(i)
+            for i in skewed_graph.items()
+            if skewed_graph.item_total_clicks(i) >= threshold
+        )
+        assert hot_mass >= 0.8 * skewed_graph.total_clicks
+
+
+class TestTClick:
+    def test_paper_inputs(self):
+        # (11.35 * 0.8) / (4.32 * 0.2) = 10.5 -> ceil 11 (paper rounds to 12).
+        assert t_click_threshold(11.35, 4.32) == 11
+
+    def test_floor_of_two(self):
+        assert t_click_threshold(1.0, 100.0) == 2
+
+    def test_monotone_in_avg_clk(self):
+        assert t_click_threshold(20.0, 4.0) > t_click_threshold(10.0, 4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            t_click_threshold(0.0, 4.0)
+        with pytest.raises(ValueError):
+            t_click_threshold(10.0, -1.0)
+        with pytest.raises(ValueError):
+            t_click_threshold(10.0, 4.0, heavy_share=1.0)
+
+    def test_from_graph(self, small):
+        value = t_click_from_graph(small.graph)
+        assert isinstance(value, int)
+        assert value >= 2
+
+    def test_from_empty_graph(self, empty_graph):
+        assert t_click_from_graph(empty_graph) == 2
+
+
+class TestClassifyItems:
+    def test_partition(self, skewed_graph):
+        hot, ordinary = classify_items(skewed_graph, 50)
+        assert hot == {"head"}
+        assert ordinary == {"mid", "tail1", "tail2"}
+        assert hot | ordinary == set(skewed_graph.items())
+
+    def test_hot_items_helper_agrees(self, skewed_graph):
+        hot, _ordinary = classify_items(skewed_graph, 10)
+        assert hot == hot_items(skewed_graph, 10)
+
+    def test_boundary_inclusive(self, skewed_graph):
+        hot, _ = classify_items(skewed_graph, 80)
+        assert "head" in hot

@@ -1,0 +1,190 @@
+"""Tests for the "Ride Item's Coattails" attack injector."""
+
+import pytest
+
+from repro.core.thresholds import pareto_hot_threshold
+from repro.datagen import AttackConfig, MarketplaceConfig, generate_marketplace, inject_attacks
+from repro.errors import DataGenError
+
+
+@pytest.fixture()
+def market():
+    return generate_marketplace(
+        MarketplaceConfig(
+            n_users=1500, n_items=400, n_cohorts=0, n_superfans=0, n_swarms=0, seed=2
+        )
+    )
+
+
+def small_attack(**overrides):
+    defaults = dict(
+        n_groups=2,
+        workers_per_group=(6, 8),
+        targets_per_group=(5, 6),
+        hot_items_per_group=(1, 2),
+        target_clicks=(12, 14),
+        sloppy_fraction=0.0,
+        hijacked_user_fraction=0.0,
+        worker_reuse_fraction=0.0,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return AttackConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AttackConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_groups": -1},
+            {"workers_per_group": (0, 5)},
+            {"targets_per_group": (0, 3)},
+            {"target_clicks": (10, 5)},
+            {"density": 0.0},
+            {"density": 1.5},
+            {"hijacked_user_fraction": -0.1},
+            {"sloppy_fraction": 2.0},
+            {"sloppy_target_clicks": (0, 3)},
+            {"worker_reuse_fraction": 1.5},
+            {"camouflage_items": (4, 1)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DataGenError):
+            AttackConfig(**kwargs)
+
+
+class TestInjection:
+    def test_truth_counts_match_groups(self, market):
+        truth = inject_attacks(market, small_attack())
+        assert len(truth.groups) == 2
+        assert truth.abnormal_users == {
+            worker for group in truth.groups for worker in group.workers
+        }
+        assert truth.abnormal_items == {
+            target for group in truth.groups for target in group.target_items
+        }
+
+    def test_group_sizes_within_ranges(self, market):
+        truth = inject_attacks(market, small_attack())
+        for group in truth.groups:
+            assert 6 <= len(group.workers) <= 8
+            assert 5 <= len(group.target_items) <= 6
+            assert 1 <= len(group.hot_items) <= 2
+
+    def test_target_items_are_fresh(self, market):
+        before = set(market.items())
+        truth = inject_attacks(market, small_attack())
+        for target in truth.abnormal_items:
+            assert target not in before
+
+    def test_hot_items_are_genuinely_hot(self, market):
+        boundary = pareto_hot_threshold(market)
+        truth = inject_attacks(market, small_attack())
+        for group in truth.groups:
+            for hot in group.hot_items:
+                assert market.item_total_clicks(hot) >= boundary
+
+    def test_full_density_forms_biclique(self, market):
+        truth = inject_attacks(market, small_attack(density=1.0))
+        group = truth.groups[0]
+        for worker in group.workers:
+            for target in group.target_items:
+                assert market.get_click(worker, target) >= 12
+
+    def test_partial_density_thins_edges(self, market):
+        truth = inject_attacks(market, small_attack(density=0.5, seed=3))
+        group = truth.groups[0]
+        realised = sum(
+            1
+            for worker in group.workers
+            for target in group.target_items
+            if market.has_edge(worker, target)
+        )
+        possible = len(group.workers) * len(group.target_items)
+        assert realised < possible
+
+    def test_worker_clicks_hot_items_lightly(self, market):
+        truth = inject_attacks(market, small_attack())
+        group = truth.groups[0]
+        for worker in group.workers:
+            for hot in group.hot_items:
+                assert 1 <= market.get_click(worker, hot) <= 3
+
+    def test_sloppy_workers_click_below_threshold(self, market):
+        truth = inject_attacks(
+            market, small_attack(sloppy_fraction=1.0, sloppy_target_clicks=(3, 5))
+        )
+        group = truth.groups[0]
+        for worker in group.workers:
+            for target in group.target_items:
+                clicks = market.get_click(worker, target)
+                if clicks:
+                    assert clicks <= 5
+
+    def test_hijacked_workers_are_existing_users(self, market):
+        organic = set(market.users())
+        truth = inject_attacks(market, small_attack(hijacked_user_fraction=1.0))
+        for group in truth.groups:
+            hijacked = [w for w in group.workers if w in organic]
+            assert hijacked  # at least some accounts came from the pool
+
+    def test_worker_reuse_shares_accounts(self, market):
+        truth = inject_attacks(
+            market,
+            small_attack(n_groups=4, worker_reuse_fraction=0.5, seed=5),
+        )
+        all_workers = [w for g in truth.groups for w in g.workers]
+        assert len(all_workers) > len(set(all_workers))  # someone serves twice
+
+    def test_fake_edges_recorded(self, market):
+        truth = inject_attacks(market, small_attack())
+        group = truth.groups[0]
+        assert group.fake_click_volume > 0
+        for user, item, clicks in group.fake_edges:
+            assert market.get_click(user, item) >= 1
+            assert clicks >= 1
+
+    def test_zero_groups(self, market):
+        truth = inject_attacks(market, small_attack(n_groups=0))
+        assert not truth.groups
+        assert not truth.abnormal_users
+
+    def test_deterministic(self):
+        config = MarketplaceConfig(
+            n_users=800, n_items=200, n_cohorts=0, n_superfans=0, n_swarms=0, seed=4
+        )
+        results = []
+        for _round in range(2):
+            graph = generate_marketplace(config)
+            truth = inject_attacks(graph, small_attack())
+            results.append((graph, sorted(map(str, truth.abnormal_users))))
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == results[1][1]
+
+    def test_injecting_into_empty_graph_raises(self):
+        from repro.graph import BipartiteGraph
+
+        with pytest.raises(DataGenError):
+            inject_attacks(BipartiteGraph(), small_attack())
+
+
+class TestGroundTruth:
+    def test_merge(self, market):
+        first = inject_attacks(market, small_attack(seed=1))
+        second = inject_attacks(market, small_attack(seed=2))
+        merged = first.merge(second)
+        assert merged.abnormal_users == first.abnormal_users | second.abnormal_users
+        assert len(merged.groups) == len(first.groups) + len(second.groups)
+
+    def test_membership_helpers(self, market):
+        truth = inject_attacks(market, small_attack())
+        worker = next(iter(truth.abnormal_users))
+        target = next(iter(truth.abnormal_items))
+        assert truth.is_abnormal_user(worker)
+        assert truth.is_abnormal_item(target)
+        assert not truth.is_abnormal_user("u0_not_a_worker")
+        assert worker in truth.abnormal_nodes

@@ -1,0 +1,121 @@
+"""Tests for the heavy-tailed samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.distributions import (
+    pareto_share,
+    sample_heavy_tail_counts,
+    sample_truncated_zipf,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(100, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 0.9)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_offset_flattens_head(self):
+        sharp = zipf_weights(100, 2.0, offset=0)
+        flat = zipf_weights(100, 2.0, offset=50)
+        assert flat[0] / flat[9] < sharp[0] / sharp[9]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, 1.0, offset=-1)
+
+
+class TestHeavyTailCounts:
+    def test_respects_minimum(self):
+        rng = np.random.default_rng(0)
+        counts = sample_heavy_tail_counts(rng, 1000, mean=5.0, minimum=2)
+        assert counts.min() >= 2
+
+    def test_respects_maximum(self):
+        rng = np.random.default_rng(0)
+        counts = sample_heavy_tail_counts(rng, 1000, mean=5.0, minimum=1, maximum=10)
+        assert counts.max() <= 10
+
+    def test_mean_close_to_target(self):
+        rng = np.random.default_rng(0)
+        counts = sample_heavy_tail_counts(rng, 50_000, mean=4.3, minimum=1)
+        assert counts.mean() == pytest.approx(4.3, rel=0.1)
+
+    def test_heavy_tail_present(self):
+        rng = np.random.default_rng(0)
+        counts = sample_heavy_tail_counts(rng, 50_000, mean=4.3, minimum=1)
+        assert counts.max() > 10 * counts.mean()
+
+    def test_invalid_mean(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_heavy_tail_counts(rng, 10, mean=1.0, minimum=1)
+
+    def test_zero_size(self):
+        rng = np.random.default_rng(0)
+        assert sample_heavy_tail_counts(rng, 0, mean=3.0).size == 0
+
+
+class TestTruncatedZipf:
+    def test_support_bounds(self):
+        rng = np.random.default_rng(0)
+        values = sample_truncated_zipf(rng, 5000, exponent=1.5, maximum=7)
+        assert values.min() >= 1
+        assert values.max() <= 7
+
+    def test_mass_concentrated_at_one(self):
+        rng = np.random.default_rng(0)
+        values = sample_truncated_zipf(rng, 5000, exponent=2.0, maximum=10)
+        assert (values == 1).mean() > 0.5
+
+    def test_invalid_maximum(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_truncated_zipf(rng, 10, exponent=1.0, maximum=0)
+
+
+class TestParetoShare:
+    def test_exact_8020(self):
+        values = np.array([80.0, 10, 5, 3, 2])
+        assert pareto_share(values, 0.8) == pytest.approx(0.2)
+
+    def test_uniform_distribution(self):
+        assert pareto_share(np.ones(100), 0.8) == pytest.approx(0.8)
+
+    def test_empty_and_zero(self):
+        assert pareto_share(np.array([])) == 0.0
+        assert pareto_share(np.zeros(5)) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            pareto_share(np.ones(3), 0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=100)
+    )
+    @settings(max_examples=60)
+    def test_share_in_unit_interval(self, values):
+        share = pareto_share(np.array(values), 0.8)
+        assert 0.0 < share <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=100)
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_mass_fraction(self, values):
+        array = np.array(values)
+        assert pareto_share(array, 0.5) <= pareto_share(array, 0.9)

@@ -1,0 +1,122 @@
+"""Tests for the adversarial (K-free) evasion campaign."""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core import RICDDetector
+from repro.core.camouflage import contains_biclique
+from repro.datagen import (
+    EvasionConfig,
+    MarketplaceConfig,
+    generate_marketplace,
+    inject_evasive_campaign,
+)
+from repro.errors import DataGenError
+
+
+@pytest.fixture()
+def market():
+    return generate_marketplace(
+        MarketplaceConfig(
+            n_users=1500, n_items=400, n_cohorts=0, n_superfans=0, n_swarms=0, seed=8
+        )
+    )
+
+
+def config(params=None, **overrides):
+    defaults = dict(n_workers=16, n_targets=8, hot_items=1, seed=3)
+    defaults.update(overrides)
+    return EvasionConfig(params or RICDParams(k1=4, k2=4), **defaults)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"n_targets": 0},
+            {"hot_items": -1},
+            {"target_clicks": (5, 3)},
+            {"target_clicks": (0, 3)},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(DataGenError):
+            config(**kwargs)
+
+
+class TestInvisibility:
+    def test_fake_target_edges_are_k_free(self, market):
+        params = RICDParams(k1=4, k2=4)
+        truth = inject_evasive_campaign(market, config(params))
+        group = truth.groups[0]
+        target_edges = {
+            (user, item)
+            for user, item, _clicks in group.fake_edges
+            if str(item).startswith("ev_t")
+        }
+        assert not contains_biclique(target_edges, params.k1, params.k2)
+
+    def test_per_target_worker_ceiling(self, market):
+        params = RICDParams(k1=4, k2=4)
+        truth = inject_evasive_campaign(market, config(params))
+        for target in truth.abnormal_items:
+            assert market.item_degree(target) <= params.k1 - 1
+
+    def test_extraction_blind_to_campaign(self, market):
+        params = RICDParams(k1=4, k2=4)
+        truth = inject_evasive_campaign(market, config(params))
+        result = RICDDetector(params=params, max_group_users=None).detect(market)
+        assert not (result.suspicious_users & truth.abnormal_users)
+        assert not (result.suspicious_items & truth.abnormal_items)
+
+    def test_overt_equivalent_is_caught(self, market):
+        """Sanity: the same budget spent overtly IS detectable."""
+        from repro.datagen import AttackConfig, inject_attacks
+
+        params = RICDParams(k1=4, k2=4)
+        truth = inject_attacks(
+            market,
+            AttackConfig(
+                n_groups=1,
+                workers_per_group=(8, 8),
+                targets_per_group=(8, 8),
+                target_clicks=(12, 13),
+                density=1.0,
+                sloppy_fraction=0.0,
+                hijacked_user_fraction=0.0,
+                worker_reuse_fraction=0.0,
+                organic_target_users=(0, 0),
+                seed=5,
+            ),
+        )
+        result = RICDDetector(params=params, max_group_users=None).detect(market)
+        caught = result.suspicious_users & truth.abnormal_users
+        assert len(caught) >= 6
+
+
+class TestStructure:
+    def test_hot_rides_recorded(self, market):
+        truth = inject_evasive_campaign(market, config())
+        group = truth.groups[0]
+        assert len(group.hot_items) == 1
+        hot = group.hot_items[0]
+        for worker in group.workers:
+            assert market.get_click(worker, hot) == 1
+
+    def test_no_hot_items_option(self, market):
+        truth = inject_evasive_campaign(market, config(hot_items=0))
+        assert truth.groups[0].hot_items == []
+
+    def test_truth_labels_complete(self, market):
+        truth = inject_evasive_campaign(market, config())
+        assert len(truth.abnormal_users) == 16
+        assert len(truth.abnormal_items) == 8
+
+    def test_k1_one_injects_no_target_edges(self, market):
+        truth = inject_evasive_campaign(
+            market, config(RICDParams(k1=1, k2=4), hot_items=0)
+        )
+        assert all(
+            market.item_degree(target) == 0 for target in truth.abnormal_items
+        )

@@ -1,0 +1,158 @@
+"""Tests for the organic marketplace generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import pareto_hot_threshold
+from repro.datagen import MarketplaceConfig, generate_marketplace
+from repro.datagen.distributions import pareto_share
+from repro.errors import DataGenError
+from repro.graph import side_stats
+
+
+@pytest.fixture(scope="module")
+def default_market():
+    """One full-size organic marketplace, generated once per module."""
+    return generate_marketplace(MarketplaceConfig(seed=0))
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        MarketplaceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"n_items": 0},
+            {"avg_items_per_user": 1.0},
+            {"avg_clicks_per_user": 2.0, "avg_items_per_user": 3.0},
+            {"max_clicks_per_edge": 1},
+            {"n_cohorts": -1},
+            {"cohort_users": (5, 2)},
+            {"cohort_items": (0, 4)},
+            {"cohort_item_pool": (0.5, 0.2)},
+            {"n_superfans": -1},
+            {"superfan_items": (3, 1)},
+            {"superfan_clicks": (0, 5)},
+            {"superfan_item_pool": (0.9, 0.9)},
+            {"n_swarms": -2},
+            {"swarm_users": (9, 3)},
+            {"swarm_items": (0, 2)},
+            {"swarm_clicks": (5, 1)},
+            {"swarm_item_pool": (1.2, 1.5)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DataGenError):
+            MarketplaceConfig(**kwargs)
+
+
+class TestGeneratedShape:
+    def test_all_users_present(self, default_market):
+        assert default_market.num_users >= 20_000  # organic users (ids u0..)
+
+    def test_all_items_present(self, default_market):
+        assert default_market.num_items == 4_000
+
+    def test_every_user_has_an_edge(self):
+        config = MarketplaceConfig(
+            n_users=500, n_items=100, n_cohorts=0, n_superfans=0, n_swarms=0, seed=3
+        )
+        graph = generate_marketplace(config)
+        assert all(graph.user_degree(u) >= 1 for u in graph.users())
+
+    def test_user_stats_near_paper(self, default_market):
+        stats = side_stats(default_market, "user")
+        # Table II targets: Avg_clk 11.35, Avg_cnt 4.32.  Cohorts/superfans/
+        # swarms inflate the organic baseline somewhat; keep a loose band.
+        assert 10.0 <= stats.avg_clk <= 16.0
+        assert 3.5 <= stats.avg_cnt <= 6.0
+
+    def test_item_stats_near_paper(self, default_market):
+        stats = side_stats(default_market, "item")
+        assert 45.0 <= stats.avg_clk <= 85.0
+        assert stats.stdev > 5 * stats.avg_clk  # heavy tail (paper: 18x)
+
+    def test_heavy_tail_pareto(self, default_market):
+        totals = np.array(
+            [default_market.item_total_clicks(i) for i in default_market.items()]
+        )
+        assert pareto_share(totals, 0.8) < 0.25
+
+    def test_hot_threshold_well_above_mean(self, default_market):
+        stats = side_stats(default_market, "item")
+        threshold = pareto_hot_threshold(default_market)
+        assert threshold > 4 * stats.avg_clk
+
+    def test_popularity_ranking_respected(self, default_market):
+        """Rank-0 item must vastly outclick a deep-tail item."""
+        top = default_market.item_total_clicks("i0")
+        tail = default_market.item_total_clicks("i3999")
+        assert top > 50 * max(tail, 1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        config = MarketplaceConfig(n_users=400, n_items=80, seed=11)
+        assert generate_marketplace(config) == generate_marketplace(config)
+
+    def test_different_seed_different_graph(self):
+        a = generate_marketplace(MarketplaceConfig(n_users=400, n_items=80, seed=1))
+        b = generate_marketplace(MarketplaceConfig(n_users=400, n_items=80, seed=2))
+        assert a != b
+
+
+class TestOverlays:
+    def test_cohorts_add_dense_blocks(self):
+        base = MarketplaceConfig(
+            n_users=1000, n_items=300, n_cohorts=0, n_superfans=0, n_swarms=0, seed=5
+        )
+        with_cohorts = MarketplaceConfig(
+            n_users=1000,
+            n_items=300,
+            n_cohorts=3,
+            cohort_users=(10, 15),
+            cohort_items=(5, 8),
+            n_superfans=0,
+            n_swarms=0,
+            seed=5,
+        )
+        plain = generate_marketplace(base)
+        cohorted = generate_marketplace(with_cohorts)
+        assert cohorted.total_clicks > plain.total_clicks
+
+    def test_superfans_create_heavy_ordinary_edges(self):
+        config = MarketplaceConfig(
+            n_users=1000,
+            n_items=300,
+            n_cohorts=0,
+            n_superfans=20,
+            superfan_clicks=(15, 20),
+            n_swarms=0,
+            seed=5,
+        )
+        graph = generate_marketplace(config)
+        heavy_edges = sum(1 for _u, _i, clicks in graph.edges() if clicks >= 15)
+        assert heavy_edges >= 20  # at least one per superfan
+
+    def test_swarms_create_large_heavy_blocks(self):
+        config = MarketplaceConfig(
+            n_users=1000,
+            n_items=300,
+            n_cohorts=0,
+            n_superfans=0,
+            n_swarms=1,
+            swarm_users=(20, 20),
+            swarm_items=(8, 8),
+            swarm_clicks=(12, 12),
+            seed=5,
+        )
+        graph = generate_marketplace(config)
+        # Some item must have >= 15 users clicking it exactly 12 times.
+        found = any(
+            sum(1 for clicks in graph.item_neighbors(item).values() if clicks >= 12)
+            >= 15
+            for item in graph.items()
+        )
+        assert found

@@ -1,0 +1,52 @@
+"""Tests for the partial-label (expert-labelling) simulation."""
+
+import pytest
+
+from repro.eval import simulate_known_labels
+
+
+class TestSimulateKnownLabels:
+    def test_known_is_subset_of_truth(self, small):
+        known = simulate_known_labels(small.graph, small.truth, seed=0)
+        assert set(known.users) <= small.truth.abnormal_users
+        assert set(known.items) <= small.truth.abnormal_items
+
+    def test_prior_fraction_contributes(self, small):
+        known = simulate_known_labels(
+            small.graph, small.truth, known_attacker_fraction=1.0, seed=0
+        )
+        # With the full prior, the known set equals the exact truth.
+        assert set(known.users) == small.truth.abnormal_users
+        assert set(known.items) == small.truth.abnormal_items
+
+    def test_zero_prior_zero_sample(self, small):
+        known = simulate_known_labels(
+            small.graph,
+            small.truth,
+            sample_size=0,
+            known_attacker_fraction=0.0,
+            seed=0,
+        )
+        assert known.size == 0
+
+    def test_incomplete_by_default(self, small):
+        known = simulate_known_labels(small.graph, small.truth, seed=0)
+        truth_size = len(small.truth.abnormal_users) + len(small.truth.abnormal_items)
+        assert 0 < known.size < truth_size
+
+    def test_deterministic(self, small):
+        a = simulate_known_labels(small.graph, small.truth, seed=3)
+        b = simulate_known_labels(small.graph, small.truth, seed=3)
+        assert a == b
+
+    def test_invalid_arguments(self, small):
+        with pytest.raises(ValueError):
+            simulate_known_labels(small.graph, small.truth, sample_size=-1)
+        with pytest.raises(ValueError):
+            simulate_known_labels(
+                small.graph, small.truth, known_attacker_fraction=1.5
+            )
+
+    def test_size_property(self, small):
+        known = simulate_known_labels(small.graph, small.truth, seed=0)
+        assert known.size == len(known.users) + len(known.items)

@@ -1,0 +1,69 @@
+"""Tests for the detector evaluation harness."""
+
+from repro.baselines import NaiveDetector, WithScreening
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.eval import (
+    default_detector_suite,
+    evaluate_detector,
+    run_suite,
+    simulate_known_labels,
+)
+
+
+class TestEvaluateDetector:
+    def test_exact_metrics_computed(self, small):
+        run = evaluate_detector(RICDDetector(params=RICDParams(k1=5, k2=5)), small)
+        assert run.name == "RICD"
+        assert 0.0 <= run.exact.precision <= 1.0
+        assert run.elapsed > 0.0
+        assert run.known is None
+
+    def test_known_metrics_computed(self, small):
+        known = simulate_known_labels(small.graph, small.truth, seed=0)
+        run = evaluate_detector(
+            RICDDetector(params=RICDParams(k1=5, k2=5)), small, known
+        )
+        assert run.known is not None
+        # Known labels are a subset of the truth, so known-recall can only
+        # be >= exact recall while precision can only be <=.
+        assert run.known.precision <= run.exact.precision + 1e-9
+        assert run.known.recall >= run.exact.recall - 1e-9
+
+
+class TestSuite:
+    def test_default_suite_composition(self):
+        suite = default_detector_suite()
+        names = [d.name for d in suite]
+        assert names[0] == "RICD"
+        assert set(names[1:]) == {
+            "LPA+UI",
+            "CN+UI",
+            "Louvain+UI",
+            "COPYCATCH+UI",
+            "FRAUDAR+UI",
+            "Naive+UI",
+        }
+
+    def test_include_unscreened(self):
+        suite = default_detector_suite(include_unscreened=True)
+        names = {d.name for d in suite}
+        assert "LPA" in names and "LPA+UI" in names
+
+    def test_floors_follow_params(self):
+        suite = default_detector_suite(params=RICDParams(k1=7, k2=9))
+        wrapped = [d for d in suite if isinstance(d, WithScreening)]
+        assert all(w.min_users == 7 and w.min_items == 9 for w in wrapped)
+
+    def test_run_suite_order_and_labels(self, small):
+        detectors = [
+            RICDDetector(params=RICDParams(k1=5, k2=5)),
+            NaiveDetector(),
+        ]
+        runs = run_suite(detectors, small, simulate_labels=True, label_seed=1)
+        assert [r.name for r in runs] == ["RICD", "Naive"]
+        assert all(r.known is not None for r in runs)
+
+    def test_run_suite_without_labels(self, small):
+        runs = run_suite([NaiveDetector()], small, simulate_labels=False)
+        assert runs[0].known is None

@@ -1,0 +1,80 @@
+"""Tests for Eq. 5/6 metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import Metrics, confusion_counts, node_metrics
+
+node_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=20)
+
+
+class TestNodeMetrics:
+    def test_perfect_detection(self):
+        metrics = node_metrics({"w"}, {"t"}, {"w"}, {"t"})
+        assert metrics.as_row() == (1.0, 1.0, 1.0)
+
+    def test_empty_output(self):
+        metrics = node_metrics(set(), set(), {"w"}, {"t"})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_known(self):
+        metrics = node_metrics({"w"}, set(), set(), set())
+        assert metrics.recall == 0.0
+        assert metrics.precision == 0.0
+
+    def test_partial(self):
+        metrics = node_metrics({"w1", "fp"}, {"t1"}, {"w1", "w2"}, {"t1", "t2"})
+        assert metrics.true_positives == 2
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 4)
+
+    def test_cross_side_ids_do_not_match(self):
+        """A user id equal to a known *item* id must not count."""
+        metrics = node_metrics({"x"}, set(), set(), {"x"})
+        assert metrics.true_positives == 0
+
+    @given(node_sets, node_sets, node_sets, node_sets)
+    @settings(max_examples=80)
+    def test_bounds_and_f1_consistency(self, du, di, ku, ki):
+        # Shift item ids so user/item universes stay disjoint.
+        di = {f"i{x}" for x in di}
+        ki = {f"i{x}" for x in ki}
+        metrics = node_metrics(du, di, ku, ki)
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        if metrics.precision + metrics.recall > 0:
+            expected = (
+                2
+                * metrics.precision
+                * metrics.recall
+                / (metrics.precision + metrics.recall)
+            )
+            assert metrics.f1 == pytest.approx(expected)
+        else:
+            assert metrics.f1 == 0.0
+
+    @given(node_sets, node_sets)
+    @settings(max_examples=50)
+    def test_detecting_exactly_known_is_perfect(self, users, items):
+        items = {f"i{x}" for x in items}
+        metrics = node_metrics(users, items, users, items)
+        if users or items:
+            assert metrics.as_row() == (1.0, 1.0, 1.0)
+
+
+class TestConfusionCounts:
+    def test_counts(self):
+        tp, fp, fn = confusion_counts({"a", "b", "c"}, {"b", "c", "d"})
+        assert (tp, fp, fn) == (2, 1, 1)
+
+    def test_disjoint(self):
+        assert confusion_counts({"a"}, {"b"}) == (0, 1, 1)
+
+
+class TestMetricsDataclass:
+    def test_as_row(self):
+        metrics = Metrics(0.5, 0.25, 1 / 3, 1, 2, 4)
+        assert metrics.as_row() == (0.5, 0.25, 1 / 3)

@@ -1,0 +1,99 @@
+"""Tests for the adversarial-robustness evaluation API."""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core import RICDDetector
+from repro.datagen import (
+    AttackConfig,
+    MarketplaceConfig,
+    generate_marketplace,
+    generate_scenario,
+)
+from repro.eval import camouflage_sweep, evaluate_across_seeds, evasion_economics
+
+
+def small_template(seed=0):
+    return generate_scenario(
+        MarketplaceConfig(
+            n_users=1500,
+            n_items=400,
+            n_cohorts=2,
+            cohort_users=(10, 18),
+            cohort_items=(6, 9),
+            n_superfans=15,
+            superfan_clicks=(12, 18),
+            n_swarms=0,
+            seed=seed,
+        ),
+        AttackConfig(
+            n_groups=2,
+            workers_per_group=(6, 9),
+            targets_per_group=(6, 8),
+            target_clicks=(13, 15),
+            density=1.0,
+            sloppy_fraction=0.0,
+            seed=seed + 1,
+        ),
+    )
+
+
+def make_detector():
+    return RICDDetector(params=RICDParams(k1=5, k2=5))
+
+
+class TestCamouflageSweep:
+    def test_levels_evaluated_in_order(self):
+        points = camouflage_sweep(
+            small_template(), make_detector, levels=((0, 0), (4, 8))
+        )
+        assert [p.camouflage_items for p in points] == [(0, 0), (4, 8)]
+
+    def test_ricd_is_camouflage_stable(self):
+        """Property (2)/(3): RICD quality should not collapse under camouflage."""
+        points = camouflage_sweep(
+            small_template(), make_detector, levels=((0, 0), (10, 20))
+        )
+        clean, heavy = points[0].metrics, points[1].metrics
+        if clean.f1 > 0:  # guard against degenerate template
+            assert heavy.f1 >= clean.f1 - 0.25
+
+
+class TestEvasionEconomics:
+    @pytest.fixture(scope="class")
+    def report(self):
+        clean = generate_marketplace(
+            MarketplaceConfig(
+                n_users=1500, n_items=400, n_cohorts=0, n_superfans=0, n_swarms=0, seed=9
+            )
+        )
+        return evasion_economics(
+            clean, RICDParams(k1=5, k2=5), n_workers=10, n_targets=10, seed=2
+        )
+
+    def test_overt_campaign_is_caught(self, report):
+        assert report.overt_detection_rate >= 0.8
+
+    def test_evasive_campaign_escapes(self, report):
+        assert report.evasive_detection_rate == 0.0
+
+    def test_evasion_costs_lift(self, report):
+        """Invisibility is bought with effectiveness (property 3)."""
+        assert report.evasive_mean_lift < report.overt_mean_lift
+
+    def test_bound_respected(self, report):
+        assert report.evasive_fake_edges <= report.invisible_click_bound
+
+
+class TestSeedSummary:
+    def test_aggregates(self):
+        summary = evaluate_across_seeds(
+            make_detector, small_template, seeds=(0, 1)
+        )
+        assert summary.n_seeds == 2
+        assert 0.0 <= summary.min_f1 <= summary.mean_f1 <= summary.max_f1 <= 1.0
+        assert summary.stdev_f1 >= 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_across_seeds(make_detector, small_template, seeds=())

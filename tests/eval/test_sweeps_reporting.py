@@ -1,0 +1,80 @@
+"""Tests for sensitivity sweeps and the text renderers."""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.eval import render_series, render_table, sensitivity_sweep
+from repro.eval.reporting import format_float, render_timeline
+from repro.eval.sweeps import SWEEPABLE_PARAMETERS
+
+
+class TestSensitivitySweep:
+    def test_sweep_points_in_order(self, small):
+        base = RICDParams(k1=5, k2=5, t_hot=200.0, t_click=13.0)
+        points = sensitivity_sweep(small, "k1", [4, 5, 6], base_params=base)
+        assert [p.value for p in points] == [4.0, 5.0, 6.0]
+        assert all(p.parameter == "k1" for p in points)
+
+    def test_recall_monotone_decreasing_in_k1(self, small):
+        base = RICDParams(k1=5, k2=5, t_hot=200.0, t_click=13.0)
+        points = sensitivity_sweep(small, "k1", [4, 6, 8], base_params=base)
+        recalls = [p.exact.recall for p in points]
+        assert recalls[0] >= recalls[-1]
+
+    def test_alpha_values_are_floats(self, small):
+        base = RICDParams(k1=5, k2=5, t_hot=200.0, t_click=13.0)
+        points = sensitivity_sweep(small, "alpha", [0.8, 1.0], base_params=base)
+        assert len(points) == 2
+
+    def test_unknown_parameter_rejected(self, small):
+        with pytest.raises(ValueError):
+            sensitivity_sweep(small, "k3", [1, 2])
+
+    def test_sweepable_set(self):
+        assert set(SWEEPABLE_PARAMETERS) == {"k1", "k2", "alpha", "t_click", "t_hot"}
+
+
+class TestFormatFloat:
+    def test_values(self):
+        assert format_float(0.8125) == "0.812"
+        assert format_float(None) == "-"
+        assert format_float(12.0, 1) == "12.0"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert len({line.index("|") for line in lines}) == 1  # aligned pipes
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        text = render_series("x", [1, 2], {"p": [0.5, 0.6], "r": [0.9, 0.8]})
+        assert "0.500" in text
+        assert "0.800" in text
+
+    def test_short_series_padded(self):
+        text = render_series("x", [1, 2], {"p": [0.5]})
+        assert text.splitlines()[-1].rstrip().endswith("-")
+
+
+class TestRenderTimeline:
+    def test_events_marked(self):
+        text = render_timeline(
+            [1, 2], {"fake": [0.0, 5.0]}, {2: "detected"}, title="T"
+        )
+        assert "detected" in text
+        assert text.splitlines()[0] == "T"

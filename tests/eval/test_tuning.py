@@ -1,0 +1,71 @@
+"""Tests for the grid-search tuner."""
+
+import pytest
+
+from repro.config import RICDParams
+from repro.eval import simulate_known_labels
+from repro.eval.tuning import TUNABLE_FIELDS, grid_search
+
+
+@pytest.fixture(scope="module")
+def tuned(small):
+    base = RICDParams(k1=5, k2=5)
+    return grid_search(
+        small,
+        grid={"k1": [4, 5, 8], "alpha": [0.9, 1.0]},
+        base_params=base,
+    )
+
+
+class TestGridSearch:
+    def test_all_combinations_evaluated(self, tuned):
+        assert len(tuned.points) == 6
+
+    def test_best_is_argmax(self, tuned):
+        best_value = tuned.best.metrics.f1
+        assert all(point.metrics.f1 <= best_value + 1e-12 for point in tuned.points)
+
+    def test_top_ordering(self, tuned):
+        top = tuned.top(3)
+        values = [point.metrics.f1 for point in top]
+        assert values == sorted(values, reverse=True)
+        assert top[0].params == tuned.best_params
+
+    def test_non_swept_fields_preserved(self, tuned):
+        assert all(point.params.k2 == 5 for point in tuned.points)
+
+    def test_objective_precision(self, small):
+        result = grid_search(
+            small,
+            grid={"k1": [4, 8]},
+            base_params=RICDParams(k1=5, k2=5),
+            objective="precision",
+        )
+        best = result.best.metrics.precision
+        assert all(p.metrics.precision <= best + 1e-12 for p in result.points)
+
+    def test_known_label_objective(self, small):
+        known = simulate_known_labels(small.graph, small.truth, seed=0)
+        result = grid_search(
+            small,
+            grid={"k1": [5]},
+            base_params=RICDParams(k1=5, k2=5),
+            known=known,
+        )
+        # With partial labels the metric must be the deflated one.
+        assert result.best.metrics.known_size == known.size
+
+    @pytest.mark.parametrize(
+        ("grid", "objective"),
+        [
+            ({}, "f1"),
+            ({"k3": [1]}, "f1"),
+            ({"k1": [5]}, "accuracy"),
+        ],
+    )
+    def test_invalid_inputs(self, small, grid, objective):
+        with pytest.raises(ValueError):
+            grid_search(small, grid=grid, objective=objective)
+
+    def test_tunable_fields_constant(self):
+        assert set(TUNABLE_FIELDS) == {"k1", "k2", "alpha", "t_hot", "t_click"}

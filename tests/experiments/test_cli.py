@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_seed(self):
+        args = build_parser().parse_args(["run", "fig8", "--seed", "3"])
+        assert args.experiment == "fig8"
+        assert args.seed == 3
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "table6" in out
+
+    def test_run_eq3(self, capsys):
+        assert main(["run", "eq3"]) == 0
+        out = capsys.readouterr().out
+        assert "Attacker optimal strategy" in out
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

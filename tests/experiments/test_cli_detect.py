@@ -1,0 +1,71 @@
+"""Tests for the ``ricd detect`` subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import write_click_table
+
+
+@pytest.fixture(scope="module")
+def click_table(tmp_path_factory):
+    from repro.datagen import small_scenario
+
+    path = tmp_path_factory.mktemp("detect") / "clicks.csv"
+    write_click_table(small_scenario().graph, path)
+    return path
+
+
+class TestDetectCommand:
+    def test_detect_runs_and_prints(self, click_table, capsys):
+        assert main(["detect", str(click_table), "--k1", "5", "--k2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "thresholds:" in out
+        assert "suspicious users" in out
+
+    def test_detect_writes_output_files(self, click_table, tmp_path, capsys):
+        prefix = tmp_path / "findings"
+        code = main(
+            [
+                "detect",
+                str(click_table),
+                "--k1",
+                "5",
+                "--k2",
+                "5",
+                "--output",
+                str(prefix),
+            ]
+        )
+        assert code == 0
+        users_csv = tmp_path / "findings_users.csv"
+        items_csv = tmp_path / "findings_items.csv"
+        assert users_csv.exists() and items_csv.exists()
+        header = users_csv.read_text().splitlines()[0]
+        assert header == "User_ID,Risk"
+
+    def test_detect_with_feedback_expectation(self, click_table, capsys):
+        code = main(
+            [
+                "detect",
+                str(click_table),
+                "--k1",
+                "5",
+                "--k2",
+                "5",
+                "--t-click",
+                "40",
+                "--expectation",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feedback rounds" in out
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["detect", "/no/such/file.csv"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_invalid_params_error(self, click_table, capsys):
+        assert main(["detect", str(click_table), "--alpha", "3.0"]) == 2
+        assert "error" in capsys.readouterr().err

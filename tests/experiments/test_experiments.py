@@ -1,0 +1,104 @@
+"""Tests for the experiment modules and registry.
+
+Experiments run on the cached paper-scale scenario, so this module is the
+slowest part of the suite (~2-4 minutes total); each experiment is
+exercised exactly once per session via module-scoped fixtures.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENT_IDS, get_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENT_IDS) == {
+            "table1_2",
+            "fig2",
+            "table3_4",
+            "table5",
+            "fig8",
+            "table6",
+            "fig9",
+            "fig10",
+            "eq3",
+            "robustness",
+        }
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+class TestEq3:
+    def test_optimum_at_full_concentration(self):
+        report = run_experiment("eq3", click_budget=12, existing_co_clicks=500)
+        assert report.data["best_allocation"] == report.data["expected_allocation"]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            run_experiment("eq3", click_budget=1)
+
+
+@pytest.fixture(scope="module")
+def table1_2():
+    return run_experiment("table1_2")
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_experiment("fig2")
+
+
+class TestDataExperiments:
+    def test_table1_scale_near_paper_ratio(self, table1_2):
+        users, items, edges, clicks = table1_2.data["scale"]
+        assert 19_000 <= users <= 22_000
+        assert 3_900 <= items <= 4_300
+        assert edges >= 80_000
+
+    def test_table2_stats_in_band(self, table1_2):
+        avg_clk, avg_cnt, _stdev = table1_2.data["user_stats"]
+        assert 10.0 <= avg_clk <= 16.0
+        assert 3.5 <= avg_cnt <= 6.0
+
+    def test_fig2_heavy_tail(self, fig2):
+        assert fig2.data["item_pareto_share"] < 0.25
+        assert len(fig2.data["item_bins"]) >= 5
+
+    def test_table3_4_contrast(self):
+        report = run_experiment("table3_4")
+        suspect = report.data["suspect_rows"]
+        # The suspect's record must contain a heavy ordinary click (>= 12
+        # clicks on a non-hot item) — the Table III signature.
+        assert any(row[1] >= 12 and row[3] == 0 for row in suspect)
+
+    def test_table5_contrast(self):
+        report = run_experiment("table5")
+        suspicious = report.data["suspicious"]["profile"]
+        normal = report.data["normal"]["profile"]
+        # Matched volumes, but the suspicious item concentrates clicks in
+        # fewer users with a higher per-user mean.
+        assert suspicious.user_num < normal.user_num
+        assert suspicious.mean > normal.mean
+        assert (
+            report.data["suspicious"]["abnormal_share"]
+            > report.data["normal"]["abnormal_share"]
+        )
+
+    def test_fig10_mechanism(self):
+        report = run_experiment("fig10")
+        impact = report.data["impact"]
+        assert impact.mean_score_after > impact.mean_score_before
+        assert report.data["caught_workers"] >= 0.8 * report.data["group_size"][0]
+        timeline = report.data["timeline"]
+        assert timeline.peak_organic_day() < 9  # growth peaks before detection
+
+    def test_reports_render(self, table1_2, fig2):
+        for report in (table1_2, fig2):
+            text = str(report)
+            assert report.experiment_id in text
+            assert "|" in text

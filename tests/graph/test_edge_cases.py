@@ -1,0 +1,81 @@
+"""Edge-case tests: exotic identifiers, extreme weights, degenerate shapes."""
+
+from repro.config import RICDParams
+from repro.core import RICDDetector
+from repro.core.extraction import extract_groups
+from repro.graph import BipartiteGraph, read_click_table, write_click_table
+
+
+class TestExoticIdentifiers:
+    def test_unicode_ids(self, tmp_path):
+        graph = BipartiteGraph()
+        graph.add_click("用户一", "商品①", 3)
+        graph.add_click("ユーザー", "商品①", 2)
+        path = tmp_path / "unicode.csv"
+        write_click_table(graph, path)
+        assert read_click_table(path) == graph
+
+    def test_integer_ids(self):
+        graph = BipartiteGraph()
+        graph.add_click(1, 100, 5)
+        graph.add_click(2, 100, 5)
+        assert graph.item_degree(100) == 2
+        groups = extract_groups(graph, RICDParams(k1=2, k2=1))
+        assert isinstance(groups, list)
+
+    def test_tuple_ids(self):
+        graph = BipartiteGraph()
+        graph.add_click(("shop", 1), ("sku", 9), 2)
+        assert graph.get_click(("shop", 1), ("sku", 9)) == 2
+
+    def test_ids_with_commas_roundtrip_via_tsv(self, tmp_path):
+        graph = BipartiteGraph()
+        graph.add_click("user, the first", "item, deluxe", 1)
+        path = tmp_path / "commas.csv"
+        write_click_table(graph, path)  # csv quoting must handle the commas
+        assert read_click_table(path) == graph
+
+
+class TestExtremeWeights:
+    def test_huge_click_counts(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "i", 10**12)
+        assert graph.total_clicks == 10**12
+        graph.add_click("u", "i", 1)
+        assert graph.get_click("u", "i") == 10**12 + 1
+
+    def test_detector_survives_degenerate_weights(self):
+        graph = BipartiteGraph()
+        graph.add_click("whale", "item", 10**9)
+        for index in range(30):
+            graph.add_click(f"u{index}", "item", 1)
+        result = RICDDetector(params=RICDParams(k1=2, k2=2)).detect(graph)
+        assert isinstance(result.suspicious_users, set)
+
+
+class TestDegenerateShapes:
+    def test_single_edge_graph(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "i", 1)
+        result = RICDDetector(params=RICDParams(k1=2, k2=2)).detect(graph)
+        assert not result.suspicious_users
+
+    def test_star_graph(self):
+        graph = BipartiteGraph()
+        for index in range(100):
+            graph.add_click(f"u{index}", "hub", 1)
+        result = RICDDetector(params=RICDParams(k1=2, k2=2)).detect(graph)
+        assert not result.suspicious_users  # a star holds no biclique core
+
+    def test_perfect_bipartite_clique_detected_structurally(self):
+        graph = BipartiteGraph()
+        for user in range(6):
+            for item in range(6):
+                graph.add_click(f"u{user}", f"i{item}", 20)
+        groups = extract_groups(graph, RICDParams(k1=6, k2=6))
+        assert len(groups) == 1
+
+    def test_empty_graph_detection(self):
+        result = RICDDetector().detect(BipartiteGraph())
+        assert not result.suspicious_users
+        assert not result.groups

@@ -1,0 +1,96 @@
+"""Tests for click-table file I/O."""
+
+import pytest
+
+from repro.errors import ClickTableError
+from repro.graph import BipartiteGraph, read_click_table, write_click_table
+from repro.graph.io import iter_click_table
+
+
+def write(tmp_path, text, name="clicks.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestRead:
+    def test_csv_with_header(self, tmp_path):
+        path = write(tmp_path, "User_ID,Item_ID,Click\nu1,i1,3\nu2,i1,1\n")
+        graph = read_click_table(path)
+        assert graph.num_users == 2
+        assert graph.get_click("u1", "i1") == 3
+
+    def test_csv_without_header(self, tmp_path):
+        path = write(tmp_path, "u1,i1,3\n")
+        graph = read_click_table(path)
+        assert graph.total_clicks == 3
+
+    def test_tsv_detected(self, tmp_path):
+        path = write(tmp_path, "u1\ti1\t2\nu2\ti2\t4\n")
+        graph = read_click_table(path)
+        assert graph.get_click("u2", "i2") == 4
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = write(tmp_path, "# comment\nu1,i1,1\n\nu2,i2,2\n")
+        graph = read_click_table(path)
+        assert graph.num_edges == 2
+
+    def test_bad_column_count(self, tmp_path):
+        path = write(tmp_path, "u1,i1\n")
+        with pytest.raises(ClickTableError) as excinfo:
+            read_click_table(path)
+        assert excinfo.value.line_number == 1
+
+    def test_non_integer_click(self, tmp_path):
+        path = write(tmp_path, "u1,i1,many\n")
+        with pytest.raises(ClickTableError):
+            read_click_table(path)
+
+    def test_nonpositive_click(self, tmp_path):
+        path = write(tmp_path, "u1,i1,0\n")
+        with pytest.raises(ClickTableError):
+            read_click_table(path)
+
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path, "")
+        graph = read_click_table(path)
+        assert len(graph) == 0
+
+    def test_whitespace_stripped(self, tmp_path):
+        path = write(tmp_path, " u1 , i1 , 3 \n")
+        assert read_click_table(path).get_click("u1", "i1") == 3
+
+    def test_iter_streams_records(self, tmp_path):
+        path = write(tmp_path, "u1,i1,1\nu2,i2,2\n")
+        assert list(iter_click_table(path)) == [("u1", "i1", 1), ("u2", "i2", 2)]
+
+
+class TestWrite:
+    def test_round_trip(self, tmp_path, simple_graph):
+        path = tmp_path / "out.csv"
+        count = write_click_table(simple_graph, path)
+        assert count == simple_graph.num_edges
+        assert read_click_table(path) == simple_graph
+
+    def test_deterministic_output(self, tmp_path):
+        a = BipartiteGraph()
+        a.add_click("u2", "i1", 1)
+        a.add_click("u1", "i1", 1)
+        b = BipartiteGraph()
+        b.add_click("u1", "i1", 1)
+        b.add_click("u2", "i1", 1)
+        path_a, path_b = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_click_table(a, path_a)
+        write_click_table(b, path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_no_header_option(self, tmp_path, simple_graph):
+        path = tmp_path / "raw.csv"
+        write_click_table(simple_graph, path, header=False)
+        first = path.read_text().splitlines()[0]
+        assert "User_ID" not in first
+
+    def test_tsv_round_trip(self, tmp_path, simple_graph):
+        path = tmp_path / "out.tsv"
+        write_click_table(simple_graph, path, delimiter="\t")
+        assert read_click_table(path) == simple_graph

@@ -1,0 +1,93 @@
+"""Tests for one-mode projections."""
+
+import pytest
+
+from repro.graph import BipartiteGraph
+from repro.graph.projection import project_items, project_users, top_co_clicked
+
+from ..conftest import make_biclique
+
+
+@pytest.fixture()
+def proj_graph():
+    graph = BipartiteGraph()
+    graph.add_click("a", "x", 3)
+    graph.add_click("a", "y", 1)
+    graph.add_click("b", "x", 2)
+    graph.add_click("b", "y", 5)
+    graph.add_click("c", "y", 1)
+    return graph
+
+
+class TestProjectUsers:
+    def test_pair_counts(self, proj_graph):
+        pairs = project_users(proj_graph)
+        assert pairs[("a", "b")] == 2  # share x and y
+        assert pairs[("a", "c")] == 1
+        assert pairs[("b", "c")] == 1
+
+    def test_keys_ordered(self, proj_graph):
+        assert all(str(u) < str(v) for u, v in project_users(proj_graph))
+
+    def test_min_common_filters(self, proj_graph):
+        pairs = project_users(proj_graph, min_common=2)
+        assert set(pairs) == {("a", "b")}
+
+    def test_max_degree_skips_hubs(self):
+        graph = BipartiteGraph()
+        for index in range(20):
+            graph.add_click(f"u{index}", "hub", 1)
+        graph.add_click("u0", "niche", 1)
+        graph.add_click("u1", "niche", 1)
+        pairs = project_users(graph, max_degree=10)
+        assert set(pairs) == {("u0", "u1")}  # only the niche co-click survives
+
+    def test_biclique_is_complete(self):
+        graph = BipartiteGraph()
+        users, _ = make_biclique(graph, 4, 3)
+        pairs = project_users(graph)
+        assert len(pairs) == 6  # C(4, 2)
+        assert all(count == 3 for count in pairs.values())
+
+    def test_invalid_min_common(self, proj_graph):
+        with pytest.raises(ValueError):
+            project_users(proj_graph, min_common=0)
+
+
+class TestProjectItems:
+    def test_unweighted_counts_users(self, proj_graph):
+        pairs = project_items(proj_graph)
+        assert pairs[("x", "y")] == 2  # a and b clicked both
+
+    def test_weighted_sums_min_clicks(self, proj_graph):
+        pairs = project_items(proj_graph, weighted=True)
+        # a: min(3, 1) = 1; b: min(2, 5) = 2.
+        assert pairs[("x", "y")] == 3
+
+    def test_max_degree_skips_crawlers(self):
+        graph = BipartiteGraph()
+        for index in range(15):
+            graph.add_click("crawler", f"i{index}", 1)
+        graph.add_click("u", "i0", 1)
+        graph.add_click("u", "i1", 1)
+        pairs = project_items(graph, max_degree=10)
+        assert set(pairs) == {("i0", "i1")}
+
+    def test_empty_graph(self, empty_graph):
+        assert project_items(empty_graph) == {}
+
+
+class TestTopCoClicked:
+    def test_ranked_by_shared_users(self, proj_graph):
+        ranked = top_co_clicked(proj_graph, "y", k=5)
+        assert ranked[0] == ("x", 2)
+
+    def test_k_truncates(self, proj_graph):
+        assert len(top_co_clicked(proj_graph, "y", k=1)) == 1
+
+    def test_anchor_excluded(self, proj_graph):
+        assert all(item != "y" for item, _count in top_co_clicked(proj_graph, "y"))
+
+    def test_invalid_k(self, proj_graph):
+        with pytest.raises(ValueError):
+            top_co_clicked(proj_graph, "y", k=-1)

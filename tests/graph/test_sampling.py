@@ -1,0 +1,52 @@
+"""Tests for stratified item sampling (Section IV's sampling step)."""
+
+import pytest
+
+from repro.graph import BipartiteGraph, stratified_item_sample
+
+
+@pytest.fixture()
+def layered_graph():
+    """Items with click volumes spanning several magnitudes."""
+    graph = BipartiteGraph()
+    volumes = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+    for index, volume in enumerate(volumes):
+        for user_index in range(volume):
+            graph.add_click(f"u{user_index}", f"i{index}", 1)
+    return graph
+
+
+class TestStratifiedSample:
+    def test_fraction_one_keeps_all_items(self, layered_graph):
+        sample = stratified_item_sample(layered_graph, 1.0, seed=0)
+        assert sample.num_items == layered_graph.num_items
+
+    def test_every_stratum_represented(self, layered_graph):
+        sample = stratified_item_sample(layered_graph, 0.1, strata=4, seed=0)
+        totals = sorted(sample.item_total_clicks(i) for i in sample.items())
+        # Both the head and the tail of the distribution must survive.
+        assert totals[0] <= 8
+        assert totals[-1] >= 128
+
+    def test_adjacent_users_preserved(self, layered_graph):
+        sample = stratified_item_sample(layered_graph, 0.5, seed=0)
+        for item in sample.items():
+            assert sample.item_degree(item) == layered_graph.item_degree(item)
+
+    def test_deterministic_with_seed(self, layered_graph):
+        a = stratified_item_sample(layered_graph, 0.3, seed=7)
+        b = stratified_item_sample(layered_graph, 0.3, seed=7)
+        assert a == b
+
+    def test_invalid_fraction(self, layered_graph):
+        with pytest.raises(ValueError):
+            stratified_item_sample(layered_graph, 0.0)
+        with pytest.raises(ValueError):
+            stratified_item_sample(layered_graph, 1.5)
+
+    def test_invalid_strata(self, layered_graph):
+        with pytest.raises(ValueError):
+            stratified_item_sample(layered_graph, 0.5, strata=0)
+
+    def test_empty_graph(self, empty_graph):
+        assert len(stratified_item_sample(empty_graph, 0.5)) == 0

@@ -1,0 +1,109 @@
+"""Tests for graph statistics (Tables I/II/V, Fig. 2)."""
+
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    click_histogram,
+    graph_scale,
+    item_click_profile,
+    side_stats,
+)
+
+
+class TestGraphScale:
+    def test_counts(self, simple_graph):
+        scale = graph_scale(simple_graph)
+        assert scale.as_row() == (3, 3, 6, 13)
+
+    def test_empty(self, empty_graph):
+        scale = graph_scale(empty_graph)
+        assert scale.as_row() == (0, 0, 0, 0)
+
+
+class TestSideStats:
+    def test_user_side(self, simple_graph):
+        stats = side_stats(simple_graph, "user")
+        assert stats.avg_clk == pytest.approx(13 / 3)
+        assert stats.avg_cnt == pytest.approx(2.0)
+        assert stats.stdev >= 0
+
+    def test_item_side(self, simple_graph):
+        stats = side_stats(simple_graph, "item")
+        assert stats.avg_clk == pytest.approx(13 / 3)
+        assert stats.avg_cnt == pytest.approx(2.0)
+
+    def test_single_node_zero_stdev(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "i", 5)
+        assert side_stats(graph, "user").stdev == 0.0
+
+    def test_invalid_side(self, simple_graph):
+        with pytest.raises(ValueError):
+            side_stats(simple_graph, "banana")
+
+    def test_empty_graph(self, empty_graph):
+        stats = side_stats(empty_graph, "user")
+        assert stats.avg_clk == 0.0
+        assert stats.avg_cnt == 0.0
+
+
+class TestClickHistogram:
+    def test_bins_partition_counts(self):
+        graph = BipartiteGraph()
+        for index, clicks in enumerate([1, 2, 3, 8, 9, 64]):
+            graph.add_click(f"u{index}", "i", 1)
+            graph.add_click(f"u{index}", f"x{index}", clicks)
+        bins = click_histogram(graph, "user")
+        assert sum(count for _low, _high, count in bins) == graph.num_users
+
+    def test_geometric_edges(self, simple_graph):
+        bins = click_histogram(simple_graph, "item", log_base=2.0)
+        for low, high, _count in bins:
+            assert high == low * 2
+
+    def test_invalid_base(self, simple_graph):
+        with pytest.raises(ValueError):
+            click_histogram(simple_graph, "user", log_base=1.0)
+
+    def test_invalid_side(self, simple_graph):
+        with pytest.raises(ValueError):
+            click_histogram(simple_graph, "shop")
+
+    def test_empty(self, empty_graph):
+        assert click_histogram(empty_graph, "user") == []
+
+    def test_trailing_empty_bins_trimmed(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "i", 1)
+        bins = click_histogram(graph, "user")
+        assert bins[-1][2] > 0
+
+
+class TestItemClickProfile:
+    def test_profile_fields(self, simple_graph):
+        profile = item_click_profile(simple_graph, "i1")
+        assert profile.total_clicks == 5
+        assert profile.user_num == 2
+        assert profile.max_clicks == 3
+        assert profile.min_clicks == 2
+        assert profile.mean == pytest.approx(2.5)
+
+    def test_isolated_item(self, empty_graph):
+        empty_graph.add_item("lonely")
+        profile = item_click_profile(empty_graph, "lonely")
+        assert profile.total_clicks == 0
+        assert profile.user_num == 0
+        assert profile.max_clicks == 0
+
+    def test_suspicious_vs_normal_contrast(self, small):
+        """Table V's qualitative claim: matched volume, fewer distinct users."""
+        graph = small.graph
+        target = max(
+            small.truth.abnormal_items, key=lambda i: graph.item_total_clicks(i)
+        )
+        profile = item_click_profile(graph, target)
+        # An attacked item's mean clicks per user is well above the organic
+        # per-edge mean (~2.5): workers click >= 12 times each.
+        assert profile.mean > 3.0
+        assert profile.max_clicks >= 12

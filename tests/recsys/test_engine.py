@@ -1,0 +1,78 @@
+"""Tests for the I2I recommender engine."""
+
+import pytest
+
+from repro.graph import BipartiteGraph
+from repro.recsys import I2IRecommender
+
+
+@pytest.fixture()
+def rec_graph():
+    graph = BipartiteGraph()
+    graph.add_click("a", "hot", 1)
+    graph.add_click("a", "x", 6)
+    graph.add_click("b", "hot", 1)
+    graph.add_click("b", "x", 2)
+    graph.add_click("b", "y", 2)
+    graph.add_click("c", "z", 50)  # not co-clicked with hot
+    return graph
+
+
+class TestRecommend:
+    def test_ranked_by_score(self, rec_graph):
+        recs = I2IRecommender(rec_graph).recommend("hot", k=5)
+        assert [r.item for r in recs] == ["x", "y"]
+        assert recs[0].rank == 1
+        assert recs[0].score == pytest.approx(0.8)
+        assert recs[1].score == pytest.approx(0.2)
+
+    def test_k_truncates(self, rec_graph):
+        assert len(I2IRecommender(rec_graph).recommend("hot", k=1)) == 1
+
+    def test_k_zero(self, rec_graph):
+        assert I2IRecommender(rec_graph).recommend("hot", k=0) == []
+
+    def test_negative_k_rejected(self, rec_graph):
+        with pytest.raises(ValueError):
+            I2IRecommender(rec_graph).recommend("hot", k=-1)
+
+    def test_anchor_without_co_clicks(self, rec_graph):
+        assert I2IRecommender(rec_graph).recommend("z", k=3) == []
+
+    def test_deterministic_tie_break(self):
+        graph = BipartiteGraph()
+        graph.add_click("u", "hot", 1)
+        graph.add_click("u", "b", 2)
+        graph.add_click("u", "a", 2)
+        recs = I2IRecommender(graph).recommend("hot", k=2)
+        assert [r.item for r in recs] == ["a", "b"]  # equal scores, id order
+
+
+class TestLookups:
+    def test_rank_of(self, rec_graph):
+        engine = I2IRecommender(rec_graph)
+        assert engine.rank_of("hot", "x") == 1
+        assert engine.rank_of("hot", "y") == 2
+        assert engine.rank_of("hot", "z") is None
+
+    def test_score_of(self, rec_graph):
+        engine = I2IRecommender(rec_graph)
+        assert engine.score_of("hot", "x") == pytest.approx(0.8)
+        assert engine.score_of("hot", "z") == 0.0
+
+
+class TestCache:
+    def test_cache_serves_stale_until_invalidated(self, rec_graph):
+        engine = I2IRecommender(rec_graph)
+        assert engine.score_of("hot", "y") == pytest.approx(0.2)
+        rec_graph.add_click("b", "y", 6)  # y now dominates
+        assert engine.score_of("hot", "y") == pytest.approx(0.2)  # stale
+        engine.invalidate("hot")
+        assert engine.score_of("hot", "y") > 0.4
+
+    def test_invalidate_all(self, rec_graph):
+        engine = I2IRecommender(rec_graph)
+        engine.recommend("hot")
+        rec_graph.add_click("a", "x", 100)
+        engine.invalidate()
+        assert engine.score_of("hot", "x") > 0.9

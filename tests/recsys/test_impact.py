@@ -1,0 +1,90 @@
+"""Tests for attack-impact measurement and fake-click removal."""
+
+import pytest
+
+from repro.datagen import AttackConfig, MarketplaceConfig, generate_scenario
+from repro.recsys import attack_impact, exposure_rank, remove_fake_clicks
+
+
+@pytest.fixture(scope="module")
+def attacked():
+    return generate_scenario(
+        MarketplaceConfig(
+            n_users=1200, n_items=250, n_cohorts=0, n_superfans=0, n_swarms=0, seed=6
+        ),
+        AttackConfig(
+            n_groups=1,
+            workers_per_group=(10, 10),
+            targets_per_group=(6, 6),
+            hot_items_per_group=(2, 2),
+            target_clicks=(12, 14),
+            density=1.0,
+            sloppy_fraction=0.0,
+            hijacked_user_fraction=0.0,
+            worker_reuse_fraction=0.0,
+            seed=7,
+        ),
+    )
+
+
+class TestRemoveFakeClicks:
+    def test_restores_click_volume(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        assert (
+            cleaned.total_clicks
+            == attacked.graph.total_clicks - group.fake_click_volume
+        )
+
+    def test_target_edges_removed(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        worker = group.workers[0]
+        for target in group.target_items:
+            assert not cleaned.has_edge(worker, target)
+
+    def test_organic_edges_untouched(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        fake_pairs = {(u, i) for u, i, _c in group.fake_edges}
+        for user, item, clicks in attacked.graph.edges():
+            if (user, item) not in fake_pairs:
+                assert cleaned.get_click(user, item) == clicks
+
+    def test_original_untouched(self, attacked):
+        before = attacked.graph.copy()
+        remove_fake_clicks(attacked.graph, attacked.truth.groups)
+        assert attacked.graph == before
+
+
+class TestAttackImpact:
+    def test_attack_lifts_scores_and_exposure(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        impact = attack_impact(cleaned, attacked.graph, group, k=10)
+        assert impact.mean_score_after > impact.mean_score_before
+        assert impact.targets_in_top_k_after >= impact.targets_in_top_k_before
+        assert impact.score_lift > 1.0
+
+    def test_exposure_rank_improves(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        hot = group.hot_items[0]
+        target = group.target_items[0]
+        rank_before = exposure_rank(cleaned, hot, target)
+        rank_after = exposure_rank(attacked.graph, hot, target)
+        assert rank_after is not None
+        if rank_before is not None:
+            assert rank_after <= rank_before
+
+    def test_invalid_k(self, attacked):
+        group = attacked.truth.groups[0]
+        with pytest.raises(ValueError):
+            attack_impact(attacked.graph, attacked.graph, group, k=0)
+
+    def test_zero_baseline_lift_is_inf(self, attacked):
+        group = attacked.truth.groups[0]
+        cleaned = remove_fake_clicks(attacked.graph, [group])
+        impact = attack_impact(cleaned, attacked.graph, group)
+        if impact.mean_score_before == 0.0:
+            assert impact.score_lift == float("inf")

@@ -1,0 +1,90 @@
+"""Tests for the Fig. 10 traffic simulation."""
+
+import pytest
+
+from repro.errors import DataGenError
+from repro.recsys import TrafficModel, simulate_case_study
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        TrafficModel()
+
+    def test_day_ordering_enforced(self):
+        with pytest.raises(DataGenError):
+            TrafficModel(attack_start_day=8, campaign_day=6)
+        with pytest.raises(DataGenError):
+            TrafficModel(delist_day=20, total_days=14)
+
+    def test_negative_volumes_rejected(self):
+        with pytest.raises(DataGenError):
+            TrafficModel(baseline_organic=-1)
+        with pytest.raises(DataGenError):
+            TrafficModel(recommendation_gain=-0.5)
+        with pytest.raises(DataGenError):
+            TrafficModel(noise=1.0)
+
+
+class TestTimelineShape:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        return simulate_case_study(TrafficModel(noise=0.0))
+
+    def test_length_and_days(self, timeline):
+        assert timeline.days == list(range(1, 15))
+        assert len(timeline.fake_traffic) == 14
+
+    def test_no_fake_before_attack(self, timeline):
+        model = TrafficModel()
+        for day, fake in zip(timeline.days, timeline.fake_traffic):
+            if day < model.attack_start_day:
+                assert fake == 0.0
+
+    def test_fake_stops_at_detection(self, timeline):
+        model = TrafficModel()
+        for day, fake in zip(timeline.days, timeline.fake_traffic):
+            if day >= model.detection_day:
+                assert fake == 0.0
+
+    def test_fake_ramps_to_plateau(self, timeline):
+        model = TrafficModel()
+        window = [
+            fake
+            for day, fake in zip(timeline.days, timeline.fake_traffic)
+            if model.attack_start_day <= day < model.detection_day
+        ]
+        assert window[0] < window[-1] or window[0] == model.peak_fake
+        assert max(window) == pytest.approx(model.peak_fake)
+
+    def test_organic_grows_during_campaign(self, timeline):
+        """The paper: normal traffic 'grew rapidly from Day 6 to Day 9'."""
+        model = TrafficModel()
+        organic = dict(zip(timeline.days, timeline.organic_traffic))
+        assert organic[model.detection_day - 1] > 2 * model.baseline_organic
+
+    def test_cleanup_restores_baseline(self, timeline):
+        model = TrafficModel()
+        organic = dict(zip(timeline.days, timeline.organic_traffic))
+        for day in range(model.detection_day, model.delist_day):
+            assert organic[day] == pytest.approx(model.baseline_organic)
+
+    def test_delisting_zeroes_traffic(self, timeline):
+        model = TrafficModel()
+        for day, total in zip(timeline.days, timeline.total_traffic):
+            if day >= model.delist_day:
+                assert total == 0.0
+
+    def test_peak_organic_before_detection(self, timeline):
+        model = TrafficModel()
+        assert timeline.peak_organic_day() < model.detection_day
+
+    def test_events_labelled(self, timeline):
+        model = TrafficModel()
+        assert model.campaign_day in timeline.events
+        assert model.detection_day in timeline.events
+        assert model.delist_day in timeline.events
+
+    def test_noise_determinism(self):
+        a = simulate_case_study(TrafficModel(noise=0.1, seed=5))
+        b = simulate_case_study(TrafficModel(noise=0.1, seed=5))
+        assert a.organic_traffic == b.organic_traffic

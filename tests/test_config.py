@@ -1,0 +1,102 @@
+"""Tests for the parameter containers."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMS, FeedbackPolicy, RICDParams, ScreeningParams
+from repro.errors import ConfigError
+
+
+class TestRICDParams:
+    def test_defaults_match_paper(self):
+        assert (DEFAULT_PARAMS.k1, DEFAULT_PARAMS.k2) == (10, 10)
+        assert DEFAULT_PARAMS.alpha == 1.0
+        assert DEFAULT_PARAMS.t_hot is None  # data-derived
+        assert DEFAULT_PARAMS.t_click is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k1": 0},
+            {"k2": -1},
+            {"k1": 2.5},
+            {"alpha": 0.0},
+            {"alpha": 1.1},
+            {"t_hot": 0},
+            {"t_click": -3},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RICDParams(**kwargs)
+
+    def test_config_error_carries_parameter(self):
+        with pytest.raises(ConfigError) as excinfo:
+            RICDParams(alpha=2.0)
+        assert excinfo.value.parameter == "alpha"
+
+    def test_degree_floors_use_guarded_ceil(self):
+        params = RICDParams(k1=10, k2=10, alpha=0.7)
+        # 0.7 * 10 is 7.000000000000001 in binary floats; the floor must be 7.
+        assert params.user_degree_floor == 7
+        assert params.item_degree_floor == 7
+
+    def test_degree_floors_alpha_one(self):
+        params = RICDParams(k1=4, k2=9, alpha=1.0)
+        assert params.user_degree_floor == 9
+        assert params.item_degree_floor == 4
+
+    def test_replace_validates(self):
+        params = RICDParams()
+        with pytest.raises(ConfigError):
+            params.replace(alpha=5.0)
+        assert params.replace(k1=3).k1 == 3
+        assert params.k1 == 10  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RICDParams().k1 = 99  # type: ignore[misc]
+
+
+class TestScreeningParams:
+    def test_defaults(self):
+        params = ScreeningParams()
+        assert params.hot_click_cap == 4.0  # Section IV-A: "< 4"
+        assert 0 < params.min_overlap <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hot_click_cap": 0},
+            {"disguise_ratio": 0.5},
+            {"min_overlap": 0.0},
+            {"min_overlap": 1.5},
+            {"min_users": 0},
+            {"min_items": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ScreeningParams(**kwargs)
+
+    def test_replace(self):
+        assert ScreeningParams().replace(min_users=5).min_users == 5
+
+
+class TestFeedbackPolicy:
+    def test_defaults_valid(self):
+        FeedbackPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"expectation": -1},
+            {"max_rounds": -1},
+            {"t_click_step": -1.0},
+            {"alpha_step": -0.1},
+            {"alpha_floor": 0.0},
+            {"alpha_floor": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FeedbackPolicy(**kwargs)

@@ -1,0 +1,42 @@
+"""Run the public API's embedded doctests as part of the suite.
+
+Every usage example shown in a docstring must actually work; this module
+executes them so documentation rot fails CI.
+"""
+
+import doctest
+
+import pytest
+
+import repro._util
+import repro.core.camouflage
+import repro.core.framework
+import repro.core.i2i
+import repro.core.incremental
+import repro.core.thresholds
+import repro.datagen.distributions
+import repro.eval.metrics
+import repro.eval.reporting
+import repro.graph.bipartite
+import repro.graph.io
+
+MODULES = [
+    repro._util,
+    repro.core.camouflage,
+    repro.core.framework,
+    repro.core.i2i,
+    repro.core.incremental,
+    repro.core.thresholds,
+    repro.datagen.distributions,
+    repro.eval.metrics,
+    repro.eval.reporting,
+    repro.graph.bipartite,
+    repro.graph.io,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"

@@ -1,0 +1,107 @@
+"""Tests for the exception hierarchy and internal utilities."""
+
+import time
+
+import pytest
+
+from repro._util import Stopwatch, ceil_frac, stopwatch
+from repro.errors import (
+    ClickTableError,
+    ConfigError,
+    DataGenError,
+    DetectionError,
+    ExperimentError,
+    FeedbackExhaustedError,
+    GraphError,
+    NodeNotFoundError,
+    ReproError,
+    ScreeningError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError("x"),
+            ClickTableError("x"),
+            ConfigError("x"),
+            DataGenError("x"),
+            DetectionError("x"),
+            ScreeningError("x"),
+            ExperimentError("x"),
+            FeedbackExhaustedError(1, 2, 3),
+            NodeNotFoundError("u", "user"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_node_not_found_doubles_as_keyerror(self):
+        error = NodeNotFoundError("u9", "user")
+        assert isinstance(error, KeyError)
+        assert "u9" in str(error)
+        assert error.side == "user"
+
+    def test_config_error_is_valueerror(self):
+        assert isinstance(ConfigError("bad"), ValueError)
+
+    def test_click_table_error_line_number(self):
+        error = ClickTableError("broken", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_feedback_exhausted_context(self):
+        error = FeedbackExhaustedError(rounds=3, last_size=5, expectation=100)
+        assert error.rounds == 3
+        assert "3 rounds" in str(error)
+        assert "100" in str(error)
+
+
+class TestCeilFrac:
+    @pytest.mark.parametrize(
+        ("alpha", "k", "expected"),
+        [
+            (0.7, 10, 7),   # float noise would give 8 with naive ceil
+            (0.75, 10, 8),
+            (1.0, 10, 10),
+            (0.5, 3, 2),
+            (0.34, 3, 2),
+            (1.0, 1, 1),
+        ],
+    )
+    def test_values(self, alpha, k, expected):
+        assert ceil_frac(alpha, k) == expected
+
+    def test_matches_exact_rational_ceiling(self):
+        for k in range(1, 25):
+            for numerator in range(1, 11):
+                alpha = numerator / 10
+                exact = -(-numerator * k // 10)  # ceil(numerator*k/10)
+                assert ceil_frac(alpha, k) == exact, (alpha, k)
+
+
+class TestStopwatch:
+    def test_accumulates_named_phases(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            time.sleep(0.01)
+        with watch.measure("a"):
+            pass
+        with watch.measure("b"):
+            pass
+        assert watch.durations["a"] >= 0.01
+        assert set(watch.durations) == {"a", "b"}
+        assert watch.total() == pytest.approx(sum(watch.durations.values()))
+
+    def test_records_even_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure("boom"):
+                raise RuntimeError("x")
+        assert "boom" in watch.durations
+
+    def test_single_cell_stopwatch(self):
+        with stopwatch() as cell:
+            time.sleep(0.005)
+        assert cell[0] >= 0.005
