@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import inspect
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -21,7 +22,7 @@ from typing import Sequence
 from .config import FeedbackPolicy, RICDParams
 from .core.framework import RICDDetector
 from .errors import ExperimentError, ReproError
-from .experiments import EXPERIMENT_IDS, run_experiment
+from .experiments import EXPERIMENT_IDS, get_experiment
 from .graph.io import read_click_table
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--seed", type=int, default=0, help="scenario seed (default 0)"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for experiments that fan out (fig8 suite, "
+            "fig9 sweeps); 1 runs serially (default)"
+        ),
     )
 
     detect_parser = subparsers.add_parser(
@@ -75,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="minimum output size; > 0 enables the Fig. 7 feedback loop",
+    )
+    detect_parser.add_argument(
+        "--engine",
+        choices=("reference", "sparse", "auto"),
+        default="auto",
+        help=(
+            "extraction engine: pure-Python reference, scipy sparse, or "
+            "auto (sparse above the edge threshold; default)"
+        ),
+    )
+    detect_parser.add_argument(
+        "--auto-engine-threshold",
+        type=int,
+        default=20_000,
+        help="edge count above which engine=auto switches to sparse (default 20000)",
     )
     detect_parser.add_argument(
         "--top", type=int, default=20, help="rows shown per risk ranking"
@@ -112,8 +137,14 @@ def _run_detect(args: argparse.Namespace) -> int:
         params=params,
         feedback=feedback,
         max_group_users=args.max_group_users or None,
+        engine=args.engine,
+        auto_engine_edge_threshold=args.auto_engine_threshold,
     )
-    result = detector.detect(graph)
+    try:
+        result = detector.detect(graph)
+    except RuntimeError as error:  # engine="sparse" without scipy
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     print(f"loaded {graph!r}")
     resolved = detector.resolve_thresholds(graph)
@@ -166,13 +197,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     for experiment_id in targets:
         try:
-            report = run_experiment(experiment_id, seed=args.seed)
+            runner = get_experiment(experiment_id)
         except ExperimentError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        except TypeError:
-            # Experiments without a seed parameter (e.g. eq3) run as-is.
-            report = run_experiment(experiment_id)
+        # Each experiment takes the subset of knobs it understands
+        # (e.g. eq3 has no seed; only fig8/fig9 fan out over jobs).
+        accepted = inspect.signature(runner).parameters
+        offered = {"seed": args.seed, "jobs": args.jobs}
+        report = runner(**{k: v for k, v in offered.items() if k in accepted})
         print(report)
         print()
     return 0

@@ -55,21 +55,16 @@ def sparse_available() -> bool:
 def _biadjacency(
     graph: BipartiteGraph,
 ) -> tuple["sparse.csr_matrix", list[Node], list[Node]]:
-    """Binary CSR biadjacency plus the row (user) / column (item) orderings."""
-    users = sorted(graph.users(), key=str)
-    items = sorted(graph.items(), key=str)
-    item_index = {item: column for column, item in enumerate(items)}
-    rows: list[int] = []
-    cols: list[int] = []
-    for row, user in enumerate(users):
-        for item in graph.user_neighbors(user):
-            rows.append(row)
-            cols.append(item_index[item])
-    matrix = sparse.csr_matrix(
-        (np.ones(len(rows), dtype=np.int32), (rows, cols)),
-        shape=(len(users), len(items)),
-    )
-    return matrix, users, items
+    """Binary CSR biadjacency plus the row (user) / column (item) orderings.
+
+    A thin view over the graph's memoized :class:`IndexedGraph` snapshot:
+    repeated extractions of the same graph version (feedback rounds,
+    suites, sweeps) reuse one cached matrix instead of re-running the
+    dict→array conversion.  The matrix is shared, and the pruning passes
+    below only ever slice and multiply it — never write in place.
+    """
+    snapshot = graph.indexed()
+    return snapshot.biadjacency(), snapshot.users, snapshot.items
 
 
 def _prune_round(
@@ -149,7 +144,17 @@ def prune_to_fixpoint_sparse(
         raise RuntimeError("scipy is not installed; use the reference engine")
     if graph.num_users == 0 or graph.num_items == 0:
         return set(), set()
-    matrix, users, items = _biadjacency(graph)
+    # The fixpoint is a pure function of (graph version, pruning floors),
+    # so it memoizes on the snapshot's derived-results cache.  Suites that
+    # run several RICD variants, ablations and repeated benchmarks extract
+    # from the same graph with identical floors and pay the Gram-product
+    # cascade once; the feedback loop's relaxed parameters key separately.
+    snapshot = graph.indexed()
+    cache_key = ("prune_fixpoint", params.k1, params.k2, round(params.alpha, 9))
+    cached = snapshot.derived.get(cache_key)
+    if cached is not None:
+        return set(cached[0]), set(cached[1])
+    matrix, users, items = snapshot.biadjacency(), snapshot.users, snapshot.items
     # Original-index bookkeeping: each round's keep masks index the rows and
     # columns the round received.
     user_indices = np.arange(len(users))
@@ -159,11 +164,16 @@ def prune_to_fixpoint_sparse(
         user_indices = user_indices[row_keep]
         item_indices = item_indices[col_keep]
         if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            snapshot.derived[cache_key] = (frozenset(), frozenset())
             return set(), set()
         if not removed:
             break
     surviving_users = {users[index] for index in user_indices}
     surviving_items = {items[index] for index in item_indices}
+    snapshot.derived[cache_key] = (
+        frozenset(surviving_users),
+        frozenset(surviving_items),
+    )
     return surviving_users, surviving_items
 
 

@@ -19,6 +19,7 @@ prescribes (Pareto rule for ``T_hot``, Eq. 4 for ``T_click``).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
@@ -83,7 +84,12 @@ class RICDDetector:
         paper-faithful implementation), ``"sparse"`` (scipy Gram-matrix
         evaluation — same fixpoint, roughly an order of magnitude faster
         on 10^5-edge graphs) or ``"auto"`` (sparse when scipy is installed
-        and the graph exceeds ~20k edges).
+        and the graph exceeds ``auto_engine_edge_threshold`` edges).
+    auto_engine_edge_threshold:
+        Edge count above which ``engine="auto"`` switches from the
+        reference to the sparse engine.  The 20k default is where the
+        sparse engine's fixed costs amortise on typical marketplaces;
+        benchmarks and the CLI can tune it per workload.
 
     Examples
     --------
@@ -104,6 +110,20 @@ class RICDDetector:
     max_group_items: int | None = None
     strict_feedback: bool = False
     engine: str = "reference"
+    auto_engine_edge_threshold: int = 20_000
+
+    #: Memoized (graph, version) -> resolved params; detection output is
+    #: unaffected (thresholds are pure functions of the graph state), so the
+    #: detector stays semantically stateless.
+    _threshold_cache: tuple[
+        "weakref.ref[BipartiteGraph]", int, RICDParams, RICDParams
+    ] | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        """Drop the weakref-bearing cache; workers re-derive on first use."""
+        state = self.__dict__.copy()
+        state["_threshold_cache"] = None
+        return state
 
     #: Detector name used by the evaluation harness and reports.
     @property
@@ -130,7 +150,9 @@ class RICDDetector:
         from .extraction_sparse import extract_groups_sparse, sparse_available
 
         use_sparse = self.engine == "sparse" or (
-            self.engine == "auto" and sparse_available() and graph.num_edges > 20_000
+            self.engine == "auto"
+            and sparse_available()
+            and graph.num_edges > self.auto_engine_edge_threshold
         )
         if use_sparse:
             if not sparse_available():
@@ -140,13 +162,30 @@ class RICDDetector:
 
     # ------------------------------------------------------------------
     def resolve_thresholds(self, graph: BipartiteGraph) -> RICDParams:
-        """Fill in data-derived ``t_hot`` / ``t_click`` (Section IV)."""
+        """Fill in data-derived ``t_hot`` / ``t_click`` (Section IV).
+
+        Resolution is memoized against the graph's mutation version, so
+        feedback rounds and repeated ``detect`` calls on one graph (suites,
+        sweeps, benchmarks) derive the marketplace statistics once.
+        """
+        if self.params.t_hot is not None and self.params.t_click is not None:
+            return self.params
+        cached = self._threshold_cache
+        if (
+            cached is not None
+            and cached[0]() is graph
+            and cached[1] == graph.version
+            and cached[2] == self.params
+        ):
+            return cached[3]
         changes: dict[str, float] = {}
         if self.params.t_hot is None:
             changes["t_hot"] = float(pareto_hot_threshold(graph))
         if self.params.t_click is None:
             changes["t_click"] = float(t_click_from_graph(graph))
-        return self.params.replace(**changes) if changes else self.params
+        resolved = self.params.replace(**changes)
+        self._threshold_cache = (weakref.ref(graph), graph.version, self.params, resolved)
+        return resolved
 
     def _run_modules(
         self,

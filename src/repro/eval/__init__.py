@@ -13,7 +13,8 @@ from .robustness import (
     evaluate_across_seeds,
     evasion_economics,
 )
-from .sweeps import SweepPoint, sensitivity_sweep
+from .parallel import run_suite_parallel, sensitivity_sweep_parallel
+from .sweeps import SweepPoint, evaluate_sweep_point, sensitivity_sweep
 from .tuning import GridPoint, TuningResult, grid_search
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "default_detector_suite",
     "SweepPoint",
     "sensitivity_sweep",
+    "evaluate_sweep_point",
+    "run_suite_parallel",
+    "sensitivity_sweep_parallel",
     "render_table",
     "render_series",
     "render_timeline",

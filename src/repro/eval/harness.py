@@ -143,11 +143,22 @@ def run_suite(
     scenario: Scenario,
     simulate_labels: bool = True,
     label_seed: int = 0,
+    jobs: int = 1,
 ) -> list[DetectorRun]:
-    """Evaluate every detector on ``scenario``; returns runs in input order."""
+    """Evaluate every detector on ``scenario``; returns runs in input order.
+
+    ``jobs > 1`` fans the detectors out over a process pool (one worker
+    task per detector, the scenario shipped to each worker once); metrics
+    and groupings are identical to the serial path, only wall-clock
+    changes.  ``jobs=1`` is the serial reference path.
+    """
     known = (
         simulate_known_labels(scenario.graph, scenario.truth, seed=label_seed)
         if simulate_labels
         else None
     )
+    if jobs > 1 and len(detectors) > 1:
+        from .parallel import run_suite_parallel
+
+        return run_suite_parallel(detectors, scenario, known, jobs)
     return [evaluate_detector(detector, scenario, known) for detector in detectors]

@@ -1,0 +1,146 @@
+"""Process-pool fan-out for the evaluation harness.
+
+The Fig. 8 suite evaluates seven detectors and the Fig. 9 sweeps evaluate
+five values per parameter, all embarrassingly parallel: every run reads
+one shared scenario and writes an independent result.  This module fans
+those runs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+with two invariants:
+
+* **one scenario transfer per worker** — the (snapshot-stripped) scenario
+  is pickled into each worker once through the pool initializer, not with
+  every task; tasks carry only a detector or a parameter value;
+* **deterministic results** — tasks are indexed and reassembled in input
+  order, and workers are forked so they inherit the parent's hash seed;
+  the parallel output is byte-identical to the serial path (pinned by
+  ``tests/eval/test_parallel.py``).
+
+Entry points are not called directly: pass ``jobs=`` to
+:func:`repro.eval.harness.run_suite` or
+:func:`repro.eval.sweeps.sensitivity_sweep` (or ``--jobs`` on the CLI),
+which delegate here when ``jobs > 1`` and keep the serial fallback
+otherwise.  Wall-clock wins require actual cores; on a single-CPU host
+the fork/pickle overhead makes ``jobs=1`` the right setting, which is why
+it stays the default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines import Detector
+    from ..config import RICDParams, ScreeningParams
+    from ..datagen.scenario import Scenario
+    from .groundtruth import KnownLabels
+    from .harness import DetectorRun
+    from .sweeps import SweepPoint
+
+__all__ = ["run_suite_parallel", "sensitivity_sweep_parallel"]
+
+#: Per-worker shared state, installed once by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _pool(jobs: int, initializer, initargs) -> ProcessPoolExecutor:
+    """A process pool that prefers ``fork`` (inherits the hash seed)."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=context,
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# run_suite fan-out: one worker task per detector
+# ----------------------------------------------------------------------
+def _init_suite_worker(scenario: "Scenario", known: "KnownLabels | None") -> None:
+    _WORKER_STATE["scenario"] = scenario
+    _WORKER_STATE["known"] = known
+
+
+def _evaluate_one_detector(payload: tuple[int, "Detector"]) -> tuple[int, "DetectorRun"]:
+    from .harness import evaluate_detector
+
+    index, detector = payload
+    run = evaluate_detector(detector, _WORKER_STATE["scenario"], _WORKER_STATE["known"])
+    return index, run
+
+
+def run_suite_parallel(
+    detectors: "list[Detector]",
+    scenario: "Scenario",
+    known: "KnownLabels | None",
+    jobs: int,
+) -> "list[DetectorRun]":
+    """Evaluate ``detectors`` on ``scenario`` across ``jobs`` processes.
+
+    Labels are resolved by the caller (:func:`repro.eval.harness.run_suite`)
+    so the simulation seed is consumed exactly once, identically to the
+    serial path.  Results come back in input order.
+    """
+    workers = max(1, min(jobs, len(detectors)))
+    with _pool(workers, _init_suite_worker, (scenario, known)) as pool:
+        indexed = list(pool.map(_evaluate_one_detector, enumerate(detectors), chunksize=1))
+    runs: list["DetectorRun | None"] = [None] * len(detectors)
+    for index, run in indexed:
+        runs[index] = run
+    return runs  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# sensitivity_sweep fan-out: one worker task per parameter value
+# ----------------------------------------------------------------------
+def _init_sweep_worker(
+    scenario: "Scenario",
+    parameter: str,
+    base_params: "RICDParams",
+    screening: "ScreeningParams",
+    known: "KnownLabels | None",
+) -> None:
+    _WORKER_STATE["scenario"] = scenario
+    _WORKER_STATE["parameter"] = parameter
+    _WORKER_STATE["base_params"] = base_params
+    _WORKER_STATE["screening"] = screening
+    _WORKER_STATE["known"] = known
+
+
+def _evaluate_one_value(payload: tuple[int, float]) -> tuple[int, "SweepPoint"]:
+    from .sweeps import evaluate_sweep_point
+
+    index, value = payload
+    point = evaluate_sweep_point(
+        _WORKER_STATE["scenario"],
+        _WORKER_STATE["parameter"],
+        value,
+        _WORKER_STATE["base_params"],
+        _WORKER_STATE["screening"],
+        _WORKER_STATE["known"],
+    )
+    return index, point
+
+
+def sensitivity_sweep_parallel(
+    scenario: "Scenario",
+    parameter: str,
+    values: Sequence[float],
+    base_params: "RICDParams",
+    screening: "ScreeningParams",
+    known: "KnownLabels | None",
+    jobs: int,
+) -> "list[SweepPoint]":
+    """Evaluate one Fig. 9 sweep across ``jobs`` processes, in value order."""
+    workers = max(1, min(jobs, len(values)))
+    initargs = (scenario, parameter, base_params, screening, known)
+    with _pool(workers, _init_sweep_worker, initargs) as pool:
+        indexed = list(pool.map(_evaluate_one_value, enumerate(values), chunksize=1))
+    points: list["SweepPoint | None"] = [None] * len(values)
+    for index, point in indexed:
+        points[index] = point
+    return points  # type: ignore[return-value]

@@ -17,7 +17,7 @@ from .groundtruth import KnownLabels
 from .harness import evaluate_detector
 from .metrics import Metrics
 
-__all__ = ["SweepPoint", "sensitivity_sweep", "SWEEPABLE_PARAMETERS"]
+__all__ = ["SweepPoint", "sensitivity_sweep", "evaluate_sweep_point", "SWEEPABLE_PARAMETERS"]
 
 #: RICDParams fields Fig. 9 sweeps (a-e, in paper order).
 SWEEPABLE_PARAMETERS = ("k1", "k2", "alpha", "t_click", "t_hot")
@@ -34,6 +34,30 @@ class SweepPoint:
     elapsed: float
 
 
+def evaluate_sweep_point(
+    scenario: Scenario,
+    parameter: str,
+    value: float,
+    base_params: RICDParams,
+    screening: ScreeningParams,
+    known: KnownLabels | None,
+) -> SweepPoint:
+    """Evaluate one value of one parameter (the unit of sweep parallelism)."""
+    if parameter in ("k1", "k2"):
+        params = base_params.replace(**{parameter: int(value)})
+    else:
+        params = base_params.replace(**{parameter: float(value)})
+    detector = RICDDetector(params=params, screening=screening)
+    run = evaluate_detector(detector, scenario, known)
+    return SweepPoint(
+        parameter=parameter,
+        value=float(value),
+        exact=run.exact,
+        known=run.known,
+        elapsed=run.elapsed,
+    )
+
+
 def sensitivity_sweep(
     scenario: Scenario,
     parameter: str,
@@ -41,6 +65,7 @@ def sensitivity_sweep(
     base_params: RICDParams | None = None,
     screening: ScreeningParams | None = None,
     known: KnownLabels | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Vary one RICD parameter, keeping all others at the base configuration.
 
@@ -59,6 +84,10 @@ def sensitivity_sweep(
         Screening parameters.
     known:
         Optional partial labels to score against as well.
+    jobs:
+        ``> 1`` evaluates the values over a process pool (one worker task
+        per value, the scenario shipped once per worker); results are
+        identical to the serial path and come back in value order.
     """
     if parameter not in SWEEPABLE_PARAMETERS:
         raise ValueError(
@@ -66,21 +95,13 @@ def sensitivity_sweep(
         )
     base_params = base_params or RICDParams()
     screening = screening or ScreeningParams()
-    points: list[SweepPoint] = []
-    for value in values:
-        if parameter in ("k1", "k2"):
-            params = base_params.replace(**{parameter: int(value)})
-        else:
-            params = base_params.replace(**{parameter: float(value)})
-        detector = RICDDetector(params=params, screening=screening)
-        run = evaluate_detector(detector, scenario, known)
-        points.append(
-            SweepPoint(
-                parameter=parameter,
-                value=float(value),
-                exact=run.exact,
-                known=run.known,
-                elapsed=run.elapsed,
-            )
+    if jobs > 1 and len(values) > 1:
+        from .parallel import sensitivity_sweep_parallel
+
+        return sensitivity_sweep_parallel(
+            scenario, parameter, values, base_params, screening, known, jobs
         )
-    return points
+    return [
+        evaluate_sweep_point(scenario, parameter, value, base_params, screening, known)
+        for value in values
+    ]

@@ -15,9 +15,12 @@ item ids are independent integer sequences.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
 
 from ..errors import DuplicateNodeError, NodeNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .indexed import IndexedGraph
 
 __all__ = ["BipartiteGraph"]
 
@@ -44,35 +47,79 @@ class BipartiteGraph:
     1
     """
 
-    __slots__ = ("_users", "_items", "_total_clicks")
+    __slots__ = ("_users", "_items", "_total_clicks", "_version", "_indexed", "__weakref__")
 
     def __init__(self) -> None:
         self._users: dict[Node, dict[Node, int]] = {}
         self._items: dict[Node, dict[Node, int]] = {}
         self._total_clicks: int = 0
+        self._version: int = 0
+        self._indexed: "IndexedGraph | None" = None
+
+    # ------------------------------------------------------------------
+    # Snapshot bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumps on every structural change.
+
+        Consumers holding derived data (the :meth:`indexed` snapshot, the
+        detector's threshold cache) compare versions instead of graphs to
+        decide whether their view is still current.
+        """
+        return self._version
+
+    def _mutated(self) -> None:
+        """Record a structural change, invalidating memoized snapshots."""
+        self._version += 1
+        self._indexed = None
+
+    def indexed(self) -> "IndexedGraph":
+        """The memoized :class:`~repro.graph.indexed.IndexedGraph` snapshot.
+
+        The snapshot is built on first access and reused until the graph
+        mutates, so feedback rounds, suites, sweeps and benchmarks that
+        re-read the same graph pay the dict→array conversion exactly once.
+        Requires numpy; check
+        :func:`repro.graph.indexed.indexed_available` to fall back to the
+        dict paths gracefully.
+        """
+        from .indexed import IndexedGraph
+
+        snapshot = self._indexed
+        if snapshot is None or snapshot.version != self._version:
+            snapshot = IndexedGraph.from_graph(self)
+            self._indexed = snapshot
+        return snapshot
 
     # ------------------------------------------------------------------
     # Node management
     # ------------------------------------------------------------------
     def add_user(self, user: Node) -> None:
         """Register ``user`` with no edges.  No-op if already present."""
-        self._users.setdefault(user, {})
+        if user not in self._users:
+            self._users[user] = {}
+            self._mutated()
 
     def add_item(self, item: Node) -> None:
         """Register ``item`` with no edges.  No-op if already present."""
-        self._items.setdefault(item, {})
+        if item not in self._items:
+            self._items[item] = {}
+            self._mutated()
 
     def add_user_strict(self, user: Node) -> None:
         """Register ``user``; raise :class:`DuplicateNodeError` if present."""
         if user in self._users:
             raise DuplicateNodeError(user, "user")
         self._users[user] = {}
+        self._mutated()
 
     def add_item_strict(self, item: Node) -> None:
         """Register ``item``; raise :class:`DuplicateNodeError` if present."""
         if item in self._items:
             raise DuplicateNodeError(item, "item")
         self._items[item] = {}
+        self._mutated()
 
     def has_user(self, user: Node) -> bool:
         """Whether ``user`` is in the user partition."""
@@ -91,6 +138,7 @@ class BipartiteGraph:
         for item, clicks in adjacency.items():
             del self._items[item][user]
             self._total_clicks -= clicks
+        self._mutated()
 
     def remove_item(self, item: Node) -> None:
         """Delete ``item`` and all its incident edges."""
@@ -101,6 +149,7 @@ class BipartiteGraph:
         for user, clicks in adjacency.items():
             del self._users[user][item]
             self._total_clicks -= clicks
+        self._mutated()
 
     # ------------------------------------------------------------------
     # Edge management
@@ -118,6 +167,7 @@ class BipartiteGraph:
         user_adj[item] = new_count
         item_adj[user] = new_count
         self._total_clicks += clicks
+        self._mutated()
 
     def set_click(self, user: Node, item: Node, clicks: int) -> None:
         """Set the edge weight exactly; ``clicks = 0`` deletes the edge."""
@@ -129,12 +179,14 @@ class BipartiteGraph:
                 del self._users[user][item]
                 del self._items[item][user]
                 self._total_clicks -= current
+                self._mutated()
             return
         user_adj = self._users.setdefault(user, {})
         item_adj = self._items.setdefault(item, {})
         user_adj[item] = clicks
         item_adj[user] = clicks
         self._total_clicks += clicks - current
+        self._mutated()
 
     def remove_edge(self, user: Node, item: Node) -> None:
         """Delete the edge between ``user`` and ``item`` if present."""
@@ -254,6 +306,27 @@ class BipartiteGraph:
     # ------------------------------------------------------------------
     # Dunder protocol
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the edge data only; memoized snapshots stay local.
+
+        Workers of the parallel evaluation harness rebuild (and re-memoize)
+        their own :meth:`indexed` snapshot on first use, so shipping the
+        numpy arrays with every scenario would only inflate the pickle.
+        """
+        return {
+            "_users": self._users,
+            "_items": self._items,
+            "_total_clicks": self._total_clicks,
+            "_version": self._version,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._users = state["_users"]
+        self._items = state["_items"]
+        self._total_clicks = state["_total_clicks"]
+        self._version = state.get("_version", 0)
+        self._indexed = None
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BipartiteGraph):
             return NotImplemented

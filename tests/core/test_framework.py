@@ -178,3 +178,49 @@ class TestEngines:
         other = detector(engine=engine).detect(small.graph)
         assert other.suspicious_users == reference.suspicious_users
         assert other.suspicious_items == reference.suspicious_items
+
+    def test_auto_engine_threshold_tunable(self, small):
+        from unittest import mock
+
+        from repro.core import extraction_sparse
+
+        if not extraction_sparse.sparse_available():
+            pytest.skip("scipy not installed")
+        # The small scenario sits under the 20k default, so auto stays on
+        # the reference engine; dropping the field flips it to sparse.
+        assert small.graph.num_edges < RICDDetector().auto_engine_edge_threshold
+        with mock.patch.object(
+            extraction_sparse,
+            "extract_groups_sparse",
+            wraps=extraction_sparse.extract_groups_sparse,
+        ) as spy:
+            detector(engine="auto").detect(small.graph)
+            assert spy.call_count == 0
+            detector(engine="auto", auto_engine_edge_threshold=1).detect(small.graph)
+            assert spy.call_count > 0
+
+
+class TestThresholdCache:
+    def test_resolution_memoized_per_version(self, small):
+        d = detector()
+        first = d.resolve_thresholds(small.graph)
+        assert d.resolve_thresholds(small.graph) is first
+
+    def test_mutation_invalidates_resolution(self, small):
+        d = detector()
+        graph = small.graph.copy()
+        first = d.resolve_thresholds(graph)
+        # A new heavy item moves the Pareto mass, so the cache must miss.
+        for n in range(40):
+            graph.add_click(f"cache_u{n}", "cache_hot", 500)
+        second = d.resolve_thresholds(graph)
+        assert second is not first
+
+    def test_detector_with_cache_still_pickles(self, small):
+        import pickle
+
+        d = detector()
+        d.resolve_thresholds(small.graph)
+        clone = pickle.loads(pickle.dumps(d))
+        assert clone.params == d.params
+        assert clone.resolve_thresholds(small.graph).t_hot is not None

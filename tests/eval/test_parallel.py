@@ -1,0 +1,85 @@
+"""Parallel-vs-serial equivalence of the evaluation harness.
+
+The process-pool fan-out must be a pure wall-clock optimisation: same
+metrics, same groupings, same ordering.  COPYCATCH is left out of the
+suites here — its wall-clock deadline makes it the one detector whose
+output legitimately varies under CPU contention.
+"""
+
+import pytest
+
+from repro.baselines import (
+    CommonNeighborsDetector,
+    LabelPropagationDetector,
+    NaiveDetector,
+    WithScreening,
+)
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.eval import run_suite, sensitivity_sweep
+
+
+def _suite():
+    params = RICDParams(k1=5, k2=5)
+    return [
+        RICDDetector(params=params),
+        RICDDetector(params=params, variant="ricd-ui"),
+        WithScreening(LabelPropagationDetector(min_users=5, min_items=5)),
+        WithScreening(CommonNeighborsDetector(cn_threshold=5, min_users=5, min_items=5)),
+        NaiveDetector(),
+    ]
+
+
+def _run_key(run):
+    """Everything observable about a run except wall-clock."""
+    return (
+        run.name,
+        run.exact,
+        run.known,
+        sorted(map(str, run.result.suspicious_users)),
+        sorted(map(str, run.result.suspicious_items)),
+        [
+            (sorted(map(str, g.users)), sorted(map(str, g.items)))
+            for g in run.result.groups
+        ],
+    )
+
+
+class TestSuiteEquivalence:
+    def test_parallel_matches_serial(self, small):
+        serial = run_suite(_suite(), small, label_seed=3)
+        parallel = run_suite(_suite(), small, label_seed=3, jobs=4)
+        assert [_run_key(r) for r in serial] == [_run_key(r) for r in parallel]
+
+    def test_order_follows_input(self, tiny):
+        detectors = [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))]
+        runs = run_suite(detectors, tiny, simulate_labels=False, jobs=2)
+        assert [r.name for r in runs] == ["Naive", "RICD"]
+
+    def test_jobs_one_is_serial_path(self, tiny):
+        runs = run_suite([NaiveDetector()], tiny, simulate_labels=False, jobs=1)
+        assert len(runs) == 1 and runs[0].known is None
+
+    def test_more_jobs_than_detectors(self, tiny):
+        runs = run_suite(
+            [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))],
+            tiny,
+            simulate_labels=False,
+            jobs=16,
+        )
+        assert len(runs) == 2
+
+
+class TestSweepEquivalence:
+    def test_parallel_matches_serial(self, tiny):
+        base = RICDParams(k1=4, k2=4)
+        values = [3, 4, 5]
+        serial = sensitivity_sweep(tiny, "k1", values, base_params=base)
+        parallel = sensitivity_sweep(tiny, "k1", values, base_params=base, jobs=3)
+        assert [(p.parameter, p.value, p.exact, p.known) for p in serial] == [
+            (p.parameter, p.value, p.exact, p.known) for p in parallel
+        ]
+
+    def test_invalid_parameter_rejected_before_fanout(self, tiny):
+        with pytest.raises(ValueError):
+            sensitivity_sweep(tiny, "bogus", [1], jobs=4)
