@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Protocol, runtime_checkable
 
+from .. import obs
 from ..core.groups import DetectionResult, SuspiciousGroup
 from ..graph.bipartite import BipartiteGraph
 
-__all__ = ["Detector", "groups_from_communities"]
+__all__ = ["Detector", "groups_from_communities", "observe_detector"]
 
 
 @runtime_checkable
@@ -28,6 +30,34 @@ class Detector(Protocol):
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Run detection on ``graph`` and return the standard result."""
         ...
+
+
+@contextmanager
+def observe_detector(name: str):
+    """Shared observability hook wrapping one detector's ``detect`` body.
+
+    Opens a ``detector.<name>`` span and yields a one-slot list: the
+    detector drops its :class:`~repro.core.groups.DetectionResult` in
+    before returning, and the hook records the standard output counters
+    (groups/users/items emitted).  A strict no-op when no recorder is
+    active, like every :mod:`repro.obs` call.
+
+    Usage::
+
+        def detect(self, graph):
+            with observe_detector(self.name) as sink:
+                ...
+                sink.append(result)
+            return result
+    """
+    sink: list[DetectionResult] = []
+    with obs.span(f"detector.{name}"):
+        yield sink
+    if sink:
+        result = sink[-1]
+        obs.count(f"detector.{name}.groups", len(result.groups))
+        obs.count(f"detector.{name}.users", len(result.suspicious_users))
+        obs.count(f"detector.{name}.items", len(result.suspicious_items))
 
 
 def groups_from_communities(

@@ -26,7 +26,7 @@ from .._util import stopwatch
 from ..core.groups import DetectionResult
 from ..core.identification import score_groups
 from ..graph.bipartite import BipartiteGraph
-from .base import groups_from_communities
+from .base import groups_from_communities, observe_detector
 
 __all__ = ["CommonNeighborsDetector", "strong_partner_map"]
 
@@ -86,7 +86,7 @@ class CommonNeighborsDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Assemble ego clusters from strong pairs; attach co-clicked items."""
-        with stopwatch() as timer:
+        with observe_detector(self.name) as sink, stopwatch() as timer:
             partners = strong_partner_map(graph, self.cn_threshold)
             # Ego clusters large enough to matter, deduplicated by member set.
             seen: set[frozenset[Node]] = set()
@@ -115,5 +115,6 @@ class CommonNeighborsDetector:
             )
             result = DetectionResult.from_groups(groups)
             result.user_scores, result.item_scores = score_groups(graph, groups)
+            sink.append(result)
         result.timings["detection"] = timer[0]
         return result

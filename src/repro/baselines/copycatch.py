@@ -28,6 +28,7 @@ from ..core.extraction import core_pruning
 from ..core.groups import DetectionResult, SuspiciousGroup
 from ..core.identification import score_groups
 from ..graph.bipartite import BipartiteGraph
+from .base import observe_detector
 
 __all__ = ["CopyCatchDetector", "enumerate_bicliques"]
 
@@ -139,7 +140,7 @@ class CopyCatchDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Core-prune, enumerate bicliques until the deadline, emit groups."""
-        with stopwatch() as timer:
+        with observe_detector(self.name) as sink, stopwatch() as timer:
             working = graph.copy()
             core_pruning(
                 working, RICDParams(k1=self.min_users, k2=self.min_items, alpha=1.0)
@@ -159,5 +160,6 @@ class CopyCatchDetector:
             )
             result = DetectionResult.from_groups(groups)
             result.user_scores, result.item_scores = score_groups(graph, groups)
+            sink.append(result)
         result.timings["detection"] = timer[0]
         return result

@@ -25,6 +25,7 @@ from .._util import stopwatch
 from ..core.groups import DetectionResult, SuspiciousGroup
 from ..core.identification import score_groups
 from ..graph.bipartite import BipartiteGraph
+from .base import observe_detector
 
 __all__ = ["FraudarDetector", "peel_densest_block"]
 
@@ -148,7 +149,7 @@ class FraudarDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Repeatedly peel the densest block, then size-filter the blocks."""
-        with stopwatch() as timer:
+        with observe_detector(self.name) as sink, stopwatch() as timer:
             working = graph.copy()
             groups: list[SuspiciousGroup] = []
             first_density: float | None = None
@@ -175,5 +176,6 @@ class FraudarDetector:
             )
             result = DetectionResult.from_groups(groups)
             result.user_scores, result.item_scores = score_groups(graph, groups)
+            sink.append(result)
         result.timings["detection"] = timer[0]
         return result

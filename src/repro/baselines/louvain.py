@@ -21,7 +21,7 @@ from .._util import stopwatch
 from ..core.groups import DetectionResult
 from ..core.identification import score_groups
 from ..graph.bipartite import BipartiteGraph
-from .base import groups_from_communities
+from .base import groups_from_communities, observe_detector
 
 __all__ = ["LouvainDetector"]
 
@@ -67,7 +67,7 @@ class LouvainDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Partition with Louvain; emit size-filtered communities as groups."""
-        with stopwatch() as timer:
+        with observe_detector(self.name) as sink, stopwatch() as timer:
             nx_graph = _to_networkx(graph)
             if nx_graph.number_of_edges() == 0:
                 communities: list[set] = []
@@ -83,5 +83,6 @@ class LouvainDetector:
             groups = groups_from_communities(split, self.min_users, self.min_items)
             result = DetectionResult.from_groups(groups)
             result.user_scores, result.item_scores = score_groups(graph, groups)
+            sink.append(result)
         result.timings["detection"] = timer[0]
         return result

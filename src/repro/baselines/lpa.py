@@ -21,7 +21,7 @@ from .._util import stopwatch
 from ..core.groups import DetectionResult
 from ..core.identification import score_groups
 from ..graph.bipartite import BipartiteGraph
-from .base import groups_from_communities
+from .base import groups_from_communities, observe_detector
 
 __all__ = ["LabelPropagationDetector", "propagate_labels"]
 
@@ -104,7 +104,7 @@ class LabelPropagationDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Group nodes by converged label; emit size-filtered communities."""
-        with stopwatch() as timer:
+        with observe_detector(self.name) as sink, stopwatch() as timer:
             labels = propagate_labels(graph, self.max_round, self.seed)
             communities: dict[int, tuple[set[Node], set[Node]]] = {}
             for (side, node), label in labels.items():
@@ -118,5 +118,6 @@ class LabelPropagationDetector:
             )
             result = DetectionResult.from_groups(groups)
             result.user_scores, result.item_scores = score_groups(graph, groups)
+            sink.append(result)
         result.timings["detection"] = timer[0]
         return result

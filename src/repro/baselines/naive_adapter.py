@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..core.naive import NaiveParams, naive_detect
 from ..core.groups import DetectionResult
 from ..graph.bipartite import BipartiteGraph
+from .base import observe_detector
 
 __all__ = ["NaiveDetector"]
 
@@ -29,4 +30,7 @@ class NaiveDetector:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Run Algorithm 1."""
-        return naive_detect(graph, self.params)
+        with observe_detector(self.name) as sink:
+            result = naive_detect(graph, self.params)
+            sink.append(result)
+        return result

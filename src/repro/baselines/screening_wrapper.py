@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from .._util import stopwatch
 from ..config import ScreeningParams
 from ..core.groups import DetectionResult
@@ -23,7 +24,7 @@ from ..core.identification import assemble_result
 from ..core.screening import screen_groups
 from ..core.thresholds import pareto_hot_threshold, t_click_from_graph
 from ..graph.bipartite import BipartiteGraph
-from .base import Detector
+from .base import Detector, observe_detector
 
 __all__ = ["WithScreening"]
 
@@ -60,22 +61,28 @@ class WithScreening:
 
     def detect(self, graph: BipartiteGraph) -> DetectionResult:
         """Run the inner detector, then screen its groups."""
-        inner_result = self.inner.detect(graph)
-        with stopwatch() as timer:
-            t_hot = self.t_hot if self.t_hot is not None else pareto_hot_threshold(graph)
-            t_click = (
-                self.t_click if self.t_click is not None else t_click_from_graph(graph)
-            )
-            eligible = [
-                group
-                for group in inner_result.groups
-                if len(group.users) >= self.min_users
-                and len(group.items) >= self.min_items
-            ]
-            screened = screen_groups(
-                graph, eligible, t_hot=t_hot, t_click=t_click, params=self.screening
-            )
-            result = assemble_result(graph, screened)
+        with observe_detector(self.name) as sink:
+            inner_result = self.inner.detect(graph)
+            with stopwatch() as timer, obs.span("screening"):
+                t_hot = (
+                    self.t_hot if self.t_hot is not None else pareto_hot_threshold(graph)
+                )
+                t_click = (
+                    self.t_click
+                    if self.t_click is not None
+                    else t_click_from_graph(graph)
+                )
+                eligible = [
+                    group
+                    for group in inner_result.groups
+                    if len(group.users) >= self.min_users
+                    and len(group.items) >= self.min_items
+                ]
+                screened = screen_groups(
+                    graph, eligible, t_hot=t_hot, t_click=t_click, params=self.screening
+                )
+                result = assemble_result(graph, screened)
+            sink.append(result)
         result.timings = dict(inner_result.timings)
         result.timings["screening"] = result.timings.get("screening", 0.0) + timer[0]
         return result

@@ -19,9 +19,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from . import obs
 from .config import FeedbackPolicy, RICDParams
 from .core.framework import RICDDetector
 from .errors import ExperimentError, ReproError
+from .eval.reporting import render_trace
 from .experiments import EXPERIMENT_IDS, get_experiment
 from .graph.io import read_click_table
 
@@ -58,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig9 sweeps); 1 runs serially (default)"
         ),
     )
+    _add_trace_flags(run_parser)
 
     detect_parser = subparsers.add_parser(
         "detect", help="run RICD on a click-table file (User_ID, Item_ID, Click)"
@@ -109,7 +112,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="prefix for <prefix>_users.csv / <prefix>_items.csv result files",
     )
+    _add_trace_flags(detect_parser)
     return parser
+
+
+def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``detect`` and ``run``)."""
+    subparser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-stage timings and counters; print a trace summary",
+    )
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the trace as JSON to PATH (implies --trace)",
+    )
+
+
+def _trace_scope(args: argparse.Namespace):
+    """An active recorder when tracing was requested, else a no-op scope."""
+    if args.trace or args.trace_out:
+        return obs.recording(obs.Recorder())
+    import contextlib
+
+    return contextlib.nullcontext(None)
+
+
+def _emit_trace(recorder, args: argparse.Namespace) -> None:
+    """Print and/or write the recorder's report per the trace flags."""
+    if recorder is None:
+        return
+    report = recorder.report()
+    print()
+    print(render_trace(report))
+    if args.trace_out:
+        path = Path(args.trace_out)
+        path.write_text(report.to_json() + "\n")
+        print(f"\nwrote trace to {path}")
 
 
 def _run_detect(args: argparse.Namespace) -> int:
@@ -140,11 +181,16 @@ def _run_detect(args: argparse.Namespace) -> int:
         engine=args.engine,
         auto_engine_edge_threshold=args.auto_engine_threshold,
     )
-    try:
-        result = detector.detect(graph)
-    except RuntimeError as error:  # engine="sparse" without scipy
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    with _trace_scope(args) as recorder:
+        if recorder is not None:
+            recorder.meta.update(
+                {"command": "detect", "input": str(args.click_table), "engine": args.engine}
+            )
+        try:
+            result = detector.detect(graph)
+        except RuntimeError as error:  # engine="sparse" without scipy
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     print(f"loaded {graph!r}")
     resolved = detector.resolve_thresholds(graph)
@@ -178,6 +224,7 @@ def _run_detect(args: argparse.Namespace) -> int:
             for item, score in result.top_items(len(result.item_scores)):
                 writer.writerow([item, f"{score:.4f}"])
         print(f"\nwrote {users_path} and {items_path}")
+    _emit_trace(recorder, args)
     return 0
 
 
@@ -195,19 +242,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_detect(args)
 
     targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
-    for experiment_id in targets:
-        try:
-            runner = get_experiment(experiment_id)
-        except ExperimentError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        # Each experiment takes the subset of knobs it understands
-        # (e.g. eq3 has no seed; only fig8/fig9 fan out over jobs).
-        accepted = inspect.signature(runner).parameters
-        offered = {"seed": args.seed, "jobs": args.jobs}
-        report = runner(**{k: v for k, v in offered.items() if k in accepted})
-        print(report)
-        print()
+    with _trace_scope(args) as recorder:
+        if recorder is not None:
+            recorder.meta.update(
+                {"command": "run", "experiments": ",".join(targets), "jobs": args.jobs}
+            )
+        for experiment_id in targets:
+            try:
+                runner = get_experiment(experiment_id)
+            except ExperimentError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            # Each experiment takes the subset of knobs it understands
+            # (e.g. eq3 has no seed; only fig8/fig9 fan out over jobs).
+            accepted = inspect.signature(runner).parameters
+            offered = {"seed": args.seed, "jobs": args.jobs}
+            with obs.span(f"experiment.{experiment_id}"):
+                report = runner(**{k: v for k, v in offered.items() if k in accepted})
+            print(report)
+            print()
+    _emit_trace(recorder, args)
     return 0
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from .. import obs
 from .._util import ceil_frac
 from ..config import RICDParams
 from ..graph.bipartite import BipartiteGraph
@@ -49,7 +50,8 @@ def core_pruning(graph: BipartiteGraph, params: RICDParams) -> bool:
     """
     user_floor = params.user_degree_floor
     item_floor = params.item_degree_floor
-    removed_any = False
+    users_removed = 0
+    items_removed = 0
 
     # Seed the worklist with every violating vertex, then cascade.
     user_queue = [u for u in graph.users() if graph.user_degree(u) < user_floor]
@@ -61,7 +63,7 @@ def core_pruning(graph: BipartiteGraph, params: RICDParams) -> bool:
                 continue
             neighbors = list(graph.user_neighbors(user))
             graph.remove_user(user)
-            removed_any = True
+            users_removed += 1
             for item in neighbors:
                 if graph.has_item(item) and graph.item_degree(item) < item_floor:
                     item_queue.append(item)
@@ -71,11 +73,14 @@ def core_pruning(graph: BipartiteGraph, params: RICDParams) -> bool:
                 continue
             neighbors = list(graph.item_neighbors(item))
             graph.remove_item(item)
-            removed_any = True
+            items_removed += 1
             for user in neighbors:
                 if graph.has_user(user) and graph.user_degree(user) < user_floor:
                     user_queue.append(user)
-    return removed_any
+    if users_removed or items_removed:
+        obs.count("extract.core.users_removed", users_removed)
+        obs.count("extract.core.items_removed", items_removed)
+    return bool(users_removed or items_removed)
 
 
 def _two_hop_size_user(graph: BipartiteGraph, user: Node) -> int:
@@ -100,6 +105,7 @@ def _square_prune_users(
     else:
         order = sorted(graph.users(), key=str)
     removed_any = False
+    removed_count = 0
     for user in order:
         if not graph.has_user(user):
             continue
@@ -116,6 +122,9 @@ def _square_prune_users(
         if num < params.k1:
             graph.remove_user(user)
             removed_any = True
+            removed_count += 1
+    if removed_count:
+        obs.count("extract.square.users_removed", removed_count)
     return removed_any
 
 
@@ -131,6 +140,7 @@ def _square_prune_items(
     else:
         order = sorted(graph.items(), key=str)
     removed_any = False
+    removed_count = 0
     for item in order:
         if not graph.has_item(item):
             continue
@@ -145,6 +155,9 @@ def _square_prune_items(
         if num < params.k2:
             graph.remove_item(item)
             removed_any = True
+            removed_count += 1
+    if removed_count:
+        obs.count("extract.square.items_removed", removed_count)
     return removed_any
 
 
@@ -181,12 +194,16 @@ def prune_to_fixpoint(
     core_pruning(graph, params)
     if not iterate:
         square_pruning(graph, params, ordered)
+        obs.count("extract.fixpoint_rounds", 1)
         return graph
     changed = True
+    rounds = 0
     while changed:
+        rounds += 1
         changed = square_pruning(graph, params, ordered)
         if changed:
             core_pruning(graph, params)
+    obs.count("extract.fixpoint_rounds", rounds)
     return graph
 
 
@@ -226,14 +243,21 @@ def extract_groups(
         Candidate groups, largest first.
     """
     working = graph.copy() if copy else graph
-    prune_to_fixpoint(working, params, iterate=iterate)
+    with obs.span("prune"):
+        prune_to_fixpoint(working, params, iterate=iterate)
     groups: list[SuspiciousGroup] = []
-    for users, items in connected_components(working):
-        if len(users) < params.k1 or len(items) < params.k2:
-            continue
-        if max_users is not None and len(users) > max_users:
-            continue
-        if max_items is not None and len(items) > max_items:
-            continue
-        groups.append(SuspiciousGroup(users=users, items=items))
+    dropped = 0
+    with obs.span("components"):
+        for users, items in connected_components(working):
+            if len(users) < params.k1 or len(items) < params.k2:
+                dropped += 1
+                continue
+            if (max_users is not None and len(users) > max_users) or (
+                max_items is not None and len(items) > max_items
+            ):
+                dropped += 1
+                continue
+            groups.append(SuspiciousGroup(users=users, items=items))
+    obs.count("extract.components_dropped", dropped)
+    obs.count("extract.groups", len(groups))
     return groups

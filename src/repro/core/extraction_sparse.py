@@ -36,6 +36,7 @@ try:  # scipy is an optional accelerator; the reference engine needs nothing
 except ImportError:  # pragma: no cover - exercised only without scipy
     sparse = None
 
+from .. import obs
 from .._util import ceil_frac
 from ..config import RICDParams
 from ..graph.bipartite import BipartiteGraph
@@ -153,21 +154,34 @@ def prune_to_fixpoint_sparse(
     cache_key = ("prune_fixpoint", params.k1, params.k2, round(params.alpha, 9))
     cached = snapshot.derived.get(cache_key)
     if cached is not None:
+        obs.count("extract.sparse.fixpoint_cache_hits")
         return set(cached[0]), set(cached[1])
+    obs.count("extract.sparse.fixpoint_cache_misses")
     matrix, users, items = snapshot.biadjacency(), snapshot.users, snapshot.items
     # Original-index bookkeeping: each round's keep masks index the rows and
     # columns the round received.
     user_indices = np.arange(len(users))
     item_indices = np.arange(len(items))
-    while True:
-        matrix, row_keep, col_keep, removed = _prune_round(matrix, params)
-        user_indices = user_indices[row_keep]
-        item_indices = item_indices[col_keep]
-        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
-            snapshot.derived[cache_key] = (frozenset(), frozenset())
-            return set(), set()
-        if not removed:
-            break
+    rounds = 0
+    with obs.span("prune"):
+        while True:
+            rounds += 1
+            matrix, row_keep, col_keep, removed = _prune_round(matrix, params)
+            removed_users = len(user_indices) - int(row_keep.sum())
+            removed_items = len(item_indices) - int(col_keep.sum())
+            if removed_users:
+                obs.count("extract.sparse.users_removed", removed_users)
+            if removed_items:
+                obs.count("extract.sparse.items_removed", removed_items)
+            user_indices = user_indices[row_keep]
+            item_indices = item_indices[col_keep]
+            if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+                obs.count("extract.fixpoint_rounds", rounds)
+                snapshot.derived[cache_key] = (frozenset(), frozenset())
+                return set(), set()
+            if not removed:
+                break
+    obs.count("extract.fixpoint_rounds", rounds)
     surviving_users = {users[index] for index in user_indices}
     surviving_items = {items[index] for index in item_indices}
     snapshot.derived[cache_key] = (
@@ -187,12 +201,18 @@ def extract_groups_sparse(
     surviving_users, surviving_items = prune_to_fixpoint_sparse(graph, params)
     survivors = graph.subgraph(surviving_users, surviving_items)
     groups: list[SuspiciousGroup] = []
-    for users, items in connected_components(survivors):
-        if len(users) < params.k1 or len(items) < params.k2:
-            continue
-        if max_users is not None and len(users) > max_users:
-            continue
-        if max_items is not None and len(items) > max_items:
-            continue
-        groups.append(SuspiciousGroup(users=users, items=items))
+    dropped = 0
+    with obs.span("components"):
+        for users, items in connected_components(survivors):
+            if len(users) < params.k1 or len(items) < params.k2:
+                dropped += 1
+                continue
+            if (max_users is not None and len(users) > max_users) or (
+                max_items is not None and len(items) > max_items
+            ):
+                dropped += 1
+                continue
+            groups.append(SuspiciousGroup(users=users, items=items))
+    obs.count("extract.components_dropped", dropped)
+    obs.count("extract.groups", len(groups))
     return groups

@@ -23,6 +23,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from .. import obs
 from .._util import Stopwatch
 from ..config import FeedbackPolicy, RICDParams, ScreeningParams
 from ..errors import FeedbackExhaustedError
@@ -154,6 +155,7 @@ class RICDDetector:
             and sparse_available()
             and graph.num_edges > self.auto_engine_edge_threshold
         )
+        obs.gauge("detect.engine", "sparse" if use_sparse else "reference")
         if use_sparse:
             if not sparse_available():
                 raise RuntimeError("engine='sparse' requires scipy")
@@ -177,7 +179,9 @@ class RICDDetector:
             and cached[1] == graph.version
             and cached[2] == self.params
         ):
+            obs.count("detect.threshold_cache_hits")
             return cached[3]
+        obs.count("detect.threshold_cache_misses")
         changes: dict[str, float] = {}
         if self.params.t_hot is None:
             changes["t_hot"] = float(pareto_hot_threshold(graph))
@@ -195,9 +199,9 @@ class RICDDetector:
         timer: Stopwatch,
     ) -> list[SuspiciousGroup]:
         """Modules 1 + 2 with the given (possibly relaxed) parameters."""
-        with timer.measure("detection"):
+        with timer.measure("detection"), obs.span("extraction"):
             groups = self._extract(graph, params)
-        with timer.measure("screening"):
+        with timer.measure("screening"), obs.span("screening"):
             if self.variant == VARIANT_NO_SCREEN:
                 screened = groups
             else:
@@ -243,12 +247,30 @@ class RICDDetector:
             still derived from the *full* graph, since they are global
             marketplace statistics.
         """
+        # Same obs namespace as the baselines' shared hook, so traces of a
+        # mixed suite line up: detector.<name>.<stage>.
+        with obs.span(f"detector.{self.name}"):
+            result = self._detect(graph, seed_users, seed_items)
+        obs.count(f"detector.{self.name}.groups", len(result.groups))
+        obs.count(f"detector.{self.name}.users", len(result.suspicious_users))
+        obs.count(f"detector.{self.name}.items", len(result.suspicious_items))
+        return result
+
+    def _detect(
+        self,
+        graph: BipartiteGraph,
+        seed_users: Sequence[Node],
+        seed_items: Sequence[Node],
+    ) -> DetectionResult:
+        """The framework body ``detect`` wraps with its observability span."""
         timer = Stopwatch()
-        params = self.resolve_thresholds(graph)
+        with obs.span("thresholds"):
+            params = self.resolve_thresholds(graph)
 
         with timer.measure("detection"):
             if seed_users or seed_items:
-                working = seed_expansion(graph, seed_users, seed_items, hops=2)
+                with obs.span("seed_expansion"):
+                    working = seed_expansion(graph, seed_users, seed_items, hops=2)
             else:
                 working = graph
 
@@ -273,8 +295,9 @@ class RICDDetector:
                         rounds, output_size(screened), self.feedback.expectation
                     )
                 screened = best
+            obs.count("detect.feedback_rounds", rounds)
 
-        with timer.measure("identification"):
+        with timer.measure("identification"), obs.span("identification"):
             result = assemble_result(graph, screened)
         result.timings = dict(timer.durations)
         result.feedback_rounds = rounds

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from .. import obs
 from ..config import FeedbackPolicy, RICDParams, ScreeningParams
 from ..graph.bipartite import BipartiteGraph
 from .groups import DetectionResult, SuspiciousGroup
@@ -78,7 +79,11 @@ def assemble_result(
 ) -> DetectionResult:
     """Build a scored :class:`DetectionResult` from final groups."""
     result = DetectionResult.from_groups(groups)
-    result.user_scores, result.item_scores = score_groups(graph, groups)
+    with obs.span("scoring"):
+        result.user_scores, result.item_scores = score_groups(graph, groups)
+    obs.count("identify.groups", len(result.groups))
+    obs.count("identify.users", len(result.suspicious_users))
+    obs.count("identify.items", len(result.suspicious_items))
     return result
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from .. import obs
 from ..config import ScreeningParams
 from ..errors import ScreeningError
 from ..graph.bipartite import BipartiteGraph
@@ -120,6 +121,8 @@ def user_behavior_check(
         if hot_clicks and sum(hot_clicks) / len(hot_clicks) >= params.hot_click_cap:
             continue
         kept_users.add(user)
+    obs.count("screen.user_check.users_in", len(group.users))
+    obs.count("screen.user_check.users_kept", len(kept_users))
     return SuspiciousGroup(users=kept_users, items=set(ordinary) | hot, hot_items=hot)
 
 
@@ -193,6 +196,8 @@ def item_behavior_verification(
                 if root_a != root_b:
                     parent[root_b] = root_a
 
+    obs.count("screen.item_verify.candidates", len(candidates))
+    obs.count("screen.item_verify.verified", len(verified))
     if not verified:
         return []
 
@@ -294,17 +299,27 @@ def screen_groups(
     """
     params = params or ScreeningParams()
     screened: list[SuspiciousGroup] = []
+    groups_in = 0
+    user_check_rejected = 0
     for group in groups:
+        groups_in += 1
         current = group.copy()
         if do_user_check:
-            current = user_behavior_check(graph, current, t_hot, t_click, params)
+            with obs.span("user_check"):
+                current = user_behavior_check(graph, current, t_hot, t_click, params)
             if len(current.users) < params.min_users:
+                user_check_rejected += 1
                 continue
         if do_item_verification:
-            screened.extend(
-                item_behavior_verification(graph, current, t_hot, t_click, params)
-            )
+            with obs.span("item_verification"):
+                finals = item_behavior_verification(
+                    graph, current, t_hot, t_click, params
+                )
+            screened.extend(finals)
         else:
             screened.append(current)
     screened.sort(key=lambda g: (-g.size, min((str(u) for u in g.users), default="")))
+    obs.count("screen.groups_in", groups_in)
+    obs.count("screen.user_check.groups_rejected", user_check_rejected)
+    obs.count("screen.groups_out", len(screened))
     return screened

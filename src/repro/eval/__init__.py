@@ -4,7 +4,13 @@ protocol, detector runners, sensitivity sweeps and text reporting."""
 from .groundtruth import KnownLabels, simulate_known_labels
 from .harness import DetectorRun, default_detector_suite, evaluate_detector, run_suite
 from .metrics import Metrics, confusion_counts, node_metrics
-from .reporting import format_float, render_series, render_table, render_timeline
+from .reporting import (
+    format_float,
+    render_series,
+    render_table,
+    render_timeline,
+    render_trace,
+)
 from .robustness import (
     CamouflagePoint,
     EvasionReport,
@@ -35,6 +41,7 @@ __all__ = [
     "render_table",
     "render_series",
     "render_timeline",
+    "render_trace",
     "format_float",
     "CamouflagePoint",
     "camouflage_sweep",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .._util import stopwatch
 from ..baselines import (
     CommonNeighborsDetector,
@@ -48,6 +49,11 @@ class DetectorRun:
         protocol); ``None`` when no label set was supplied.
     elapsed:
         End-to-end wall-clock seconds of the ``detect`` call.
+    degraded:
+        ``True`` when a parallel evaluation lost this run's worker (e.g.
+        a crash took the process pool down) and the detector was re-run
+        serially in the parent; the result is still exact, only the
+        wall-clock is not comparable to the pooled runs.
     """
 
     name: str
@@ -55,6 +61,7 @@ class DetectorRun:
     exact: Metrics
     known: Metrics | None
     elapsed: float
+    degraded: bool = False
 
 
 def evaluate_detector(
@@ -66,6 +73,7 @@ def evaluate_detector(
     (Fig. 8b's quantity); per-phase splits remain available in
     ``result.timings``.
     """
+    obs.count("eval.detectors_evaluated")
     with stopwatch() as timer:
         result = detector.detect(scenario.graph)
     exact = node_metrics(

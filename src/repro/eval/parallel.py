@@ -4,7 +4,7 @@ The Fig. 8 suite evaluates seven detectors and the Fig. 9 sweeps evaluate
 five values per parameter, all embarrassingly parallel: every run reads
 one shared scenario and writes an independent result.  This module fans
 those runs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-with two invariants:
+with three invariants:
 
 * **one scenario transfer per worker** — the (snapshot-stripped) scenario
   is pickled into each worker once through the pool initializer, not with
@@ -12,7 +12,21 @@ with two invariants:
 * **deterministic results** — tasks are indexed and reassembled in input
   order, and workers are forked so they inherit the parent's hash seed;
   the parallel output is byte-identical to the serial path (pinned by
-  ``tests/eval/test_parallel.py``).
+  ``tests/eval/test_parallel.py`` and the differential suite);
+* **no lost runs** — a worker that dies mid-task (OOM kill, hard crash)
+  breaks the whole pool, which used to surface as a bare
+  :class:`~concurrent.futures.process.BrokenProcessPool`.  Now every task
+  whose future the broken pool swallowed is re-run serially in the
+  parent; recovered runs are marked ``degraded=True`` (their wall-clock
+  is not pool-comparable) and the degradation is counted on the active
+  :mod:`repro.obs` recorder.
+
+Observability: when the caller has a recorder active (``--trace``), each
+worker records into its own :class:`~repro.obs.Recorder` and ships the
+exported dict back with its result; the parent merges them (spans and
+counters add) and keeps per-worker task counts under
+``parallel.worker<N>.tasks``, with worker slots numbered by order of
+first result so traces are stable run to run.
 
 Entry points are not called directly: pass ``jobs=`` to
 :func:`repro.eval.harness.run_suite` or
@@ -26,8 +40,12 @@ it stays the default.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from .. import obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines import Detector
@@ -57,20 +75,107 @@ def _pool(jobs: int, initializer, initargs) -> ProcessPoolExecutor:
     )
 
 
+def _run_traced(task: Callable[[], object]) -> tuple[object, dict | None, int]:
+    """Run ``task`` in a worker, recording when the parent asked for a trace.
+
+    Returns ``(result, trace_dict_or_None, worker_pid)`` — the shape every
+    worker task ships back to the parent.
+    """
+    if not _WORKER_STATE.get("trace"):
+        return task(), None, os.getpid()
+    recorder = obs.Recorder()
+    with obs.recording(recorder):
+        result = task()
+    recorder.count("parallel.tasks")
+    return result, recorder.report().to_dict(), os.getpid()
+
+
+class _TraceMerger:
+    """Folds worker traces into the parent recorder with stable worker slots."""
+
+    def __init__(self) -> None:
+        self._recorder = obs.current()
+        self._slots: dict[int, int] = {}
+
+    @property
+    def tracing(self) -> bool:
+        return self._recorder is not None
+
+    def absorb(self, trace: dict | None, pid: int) -> None:
+        if self._recorder is None or trace is None:
+            return
+        slot = self._slots.setdefault(pid, len(self._slots))
+        self._recorder.merge(trace)
+        self._recorder.count(f"parallel.worker{slot}.tasks")
+
+    def finish(self) -> None:
+        if self._recorder is not None:
+            self._recorder.gauge("parallel.workers_used", len(self._slots))
+
+
+def _fan_out(
+    tasks: Sequence,
+    worker_fn,
+    initializer,
+    initargs: tuple,
+    jobs: int,
+    serial_fallback,
+) -> list:
+    """Common scatter/gather: submit every task, survive a broken pool.
+
+    ``worker_fn`` receives ``(index, task)`` and returns
+    ``(index, result, trace, pid)``.  Any task whose future raises
+    :class:`BrokenProcessPool` is recovered by calling
+    ``serial_fallback(task)`` in the parent (recorded as degraded by the
+    caller); genuine exceptions from the task body still propagate.
+    """
+    merger = _TraceMerger()
+    results: list = [None] * len(tasks)
+    lost: list[int] = []
+    workers = max(1, min(jobs, len(tasks)))
+    with _pool(workers, initializer, initargs) as pool:
+        futures = [
+            pool.submit(worker_fn, (index, task)) for index, task in enumerate(tasks)
+        ]
+        for index, future in enumerate(futures):
+            try:
+                task_index, result, trace, pid = future.result()
+                results[task_index] = result
+                merger.absorb(trace, pid)
+            except BrokenProcessPool:
+                lost.append(index)
+    for index in lost:
+        obs.count("parallel.broken_pool_recoveries")
+        results[index] = serial_fallback(tasks[index])
+    if lost and merger.tracing:
+        obs.gauge("parallel.degraded", True)
+    merger.finish()
+    return results
+
+
 # ----------------------------------------------------------------------
 # run_suite fan-out: one worker task per detector
 # ----------------------------------------------------------------------
-def _init_suite_worker(scenario: "Scenario", known: "KnownLabels | None") -> None:
+def _init_suite_worker(
+    scenario: "Scenario", known: "KnownLabels | None", trace: bool
+) -> None:
     _WORKER_STATE["scenario"] = scenario
     _WORKER_STATE["known"] = known
+    _WORKER_STATE["trace"] = trace
 
 
-def _evaluate_one_detector(payload: tuple[int, "Detector"]) -> tuple[int, "DetectorRun"]:
+def _evaluate_one_detector(
+    payload: tuple[int, "Detector"],
+) -> tuple[int, "DetectorRun", dict | None, int]:
     from .harness import evaluate_detector
 
     index, detector = payload
-    run = evaluate_detector(detector, _WORKER_STATE["scenario"], _WORKER_STATE["known"])
-    return index, run
+    run, trace, pid = _run_traced(
+        lambda: evaluate_detector(
+            detector, _WORKER_STATE["scenario"], _WORKER_STATE["known"]
+        )
+    )
+    return index, run, trace, pid
 
 
 def run_suite_parallel(
@@ -83,15 +188,25 @@ def run_suite_parallel(
 
     Labels are resolved by the caller (:func:`repro.eval.harness.run_suite`)
     so the simulation seed is consumed exactly once, identically to the
-    serial path.  Results come back in input order.
+    serial path.  Results come back in input order.  A detector whose
+    worker died is re-evaluated serially and its run marked
+    ``degraded=True``; the detection output is identical either way.
     """
-    workers = max(1, min(jobs, len(detectors)))
-    with _pool(workers, _init_suite_worker, (scenario, known)) as pool:
-        indexed = list(pool.map(_evaluate_one_detector, enumerate(detectors), chunksize=1))
-    runs: list["DetectorRun | None"] = [None] * len(detectors)
-    for index, run in indexed:
-        runs[index] = run
-    return runs  # type: ignore[return-value]
+    from .harness import evaluate_detector
+
+    def recover(detector: "Detector") -> "DetectorRun":
+        run = evaluate_detector(detector, scenario, known)
+        run.degraded = True
+        return run
+
+    return _fan_out(
+        detectors,
+        _evaluate_one_detector,
+        _init_suite_worker,
+        (scenario, known, obs.current() is not None),
+        jobs,
+        recover,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -103,27 +218,33 @@ def _init_sweep_worker(
     base_params: "RICDParams",
     screening: "ScreeningParams",
     known: "KnownLabels | None",
+    trace: bool,
 ) -> None:
     _WORKER_STATE["scenario"] = scenario
     _WORKER_STATE["parameter"] = parameter
     _WORKER_STATE["base_params"] = base_params
     _WORKER_STATE["screening"] = screening
     _WORKER_STATE["known"] = known
+    _WORKER_STATE["trace"] = trace
 
 
-def _evaluate_one_value(payload: tuple[int, float]) -> tuple[int, "SweepPoint"]:
+def _evaluate_one_value(
+    payload: tuple[int, float],
+) -> tuple[int, "SweepPoint", dict | None, int]:
     from .sweeps import evaluate_sweep_point
 
     index, value = payload
-    point = evaluate_sweep_point(
-        _WORKER_STATE["scenario"],
-        _WORKER_STATE["parameter"],
-        value,
-        _WORKER_STATE["base_params"],
-        _WORKER_STATE["screening"],
-        _WORKER_STATE["known"],
+    point, trace, pid = _run_traced(
+        lambda: evaluate_sweep_point(
+            _WORKER_STATE["scenario"],
+            _WORKER_STATE["parameter"],
+            value,
+            _WORKER_STATE["base_params"],
+            _WORKER_STATE["screening"],
+            _WORKER_STATE["known"],
+        )
     )
-    return index, point
+    return index, point, trace, pid
 
 
 def sensitivity_sweep_parallel(
@@ -135,12 +256,24 @@ def sensitivity_sweep_parallel(
     known: "KnownLabels | None",
     jobs: int,
 ) -> "list[SweepPoint]":
-    """Evaluate one Fig. 9 sweep across ``jobs`` processes, in value order."""
-    workers = max(1, min(jobs, len(values)))
-    initargs = (scenario, parameter, base_params, screening, known)
-    with _pool(workers, _init_sweep_worker, initargs) as pool:
-        indexed = list(pool.map(_evaluate_one_value, enumerate(values), chunksize=1))
-    points: list["SweepPoint | None"] = [None] * len(values)
-    for index, point in indexed:
-        points[index] = point
-    return points  # type: ignore[return-value]
+    """Evaluate one Fig. 9 sweep across ``jobs`` processes, in value order.
+
+    Like :func:`run_suite_parallel`, a value whose worker died is
+    recovered serially in the parent instead of surfacing a bare
+    :class:`BrokenProcessPool`.
+    """
+    from .sweeps import evaluate_sweep_point
+
+    def recover(value: float) -> "SweepPoint":
+        return evaluate_sweep_point(
+            scenario, parameter, value, base_params, screening, known
+        )
+
+    return _fan_out(
+        list(values),
+        _evaluate_one_value,
+        _init_sweep_worker,
+        (scenario, parameter, base_params, screening, known, obs.current() is not None),
+        jobs,
+        recover,
+    )

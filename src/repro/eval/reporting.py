@@ -8,9 +8,18 @@ stand-in for line charts).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-__all__ = ["format_float", "render_table", "render_series", "render_timeline"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import TraceReport
+
+__all__ = [
+    "format_float",
+    "render_table",
+    "render_series",
+    "render_timeline",
+    "render_trace",
+]
 
 
 def format_float(value: float | None, digits: int = 3) -> str:
@@ -88,6 +97,31 @@ def render_series(
                 row.append("-")
         rows.append(row)
     return render_table(headers, rows, title=title)
+
+
+def render_trace(report: "TraceReport", title: str | None = "trace") -> str:
+    """Render a :class:`~repro.obs.TraceReport` in the experiments' table style.
+
+    Three stacked tables — stage wall-clock, counters, gauges — so a
+    ``--trace`` summary under an experiment report reads like the report
+    itself.  Empty sections are omitted; an empty trace renders as a note.
+    """
+    sections: list[str] = []
+    if report.spans:
+        rows = [
+            [path, format_float(stat.seconds * 1000, 1), stat.calls]
+            for path, stat in sorted(report.spans.items())
+        ]
+        sections.append(render_table(["stage", "ms", "calls"], rows, title=title))
+    if report.counters:
+        rows = [[name, value] for name, value in sorted(report.counters.items())]
+        sections.append(render_table(["counter", "value"], rows))
+    if report.gauges:
+        rows = [[name, value] for name, value in sorted(report.gauges.items())]
+        sections.append(render_table(["gauge", "value"], rows))
+    if not sections:
+        return f"{title}: (empty)" if title else "(empty trace)"
+    return "\n\n".join(sections)
 
 
 def render_timeline(

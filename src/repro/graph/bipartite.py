@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
 
+from .. import obs
 from ..errors import DuplicateNodeError, NodeNotFoundError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,8 +89,12 @@ class BipartiteGraph:
 
         snapshot = self._indexed
         if snapshot is None or snapshot.version != self._version:
-            snapshot = IndexedGraph.from_graph(self)
+            obs.count("graph.indexed.misses")
+            with obs.span("indexed_build"):
+                snapshot = IndexedGraph.from_graph(self)
             self._indexed = snapshot
+        else:
+            obs.count("graph.indexed.hits")
         return snapshot
 
     # ------------------------------------------------------------------

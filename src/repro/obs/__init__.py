@@ -1,0 +1,37 @@
+"""Pipeline observability: context-scoped spans, counters and gauges.
+
+``repro.obs`` is the instrumentation layer every stage of the detection
+stack reports through — extraction pruning rounds, screening decisions,
+identification output, cache hits on the indexed-graph fast path, and
+per-worker stats from the parallel evaluation harness.  It is stdlib-only
+and a strict no-op unless a :class:`Recorder` is active, so instrumented
+hot paths cost one contextvar read when tracing is off.
+
+Typical use::
+
+    from repro import obs
+
+    recorder = obs.Recorder()
+    with obs.recording(recorder):
+        result = detector.detect(graph)
+    print(recorder.report().render())          # stage/counter tables
+    path.write_text(recorder.report().to_json())
+
+Instrumentation sites (library code) never create recorders; they call
+the module-level :func:`span` / :func:`count` / :func:`gauge` helpers,
+which dispatch to whatever recorder the caller installed — or to nothing.
+"""
+
+from .recorder import Recorder, count, current, gauge, recording, span
+from .report import SpanStat, TraceReport
+
+__all__ = [
+    "Recorder",
+    "TraceReport",
+    "SpanStat",
+    "recording",
+    "current",
+    "span",
+    "count",
+    "gauge",
+]

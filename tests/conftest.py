@@ -12,6 +12,21 @@ from repro.datagen import small_scenario, tiny_scenario
 from repro.graph import BipartiteGraph
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/goldens/*.json from the current outputs",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """Whether golden snapshot files should be rewritten instead of compared."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def tiny():
     """A few-hundred-node scenario with one injected group."""

@@ -6,8 +6,12 @@ suites here — its wall-clock deadline makes it the one detector whose
 output legitimately varies under CPU contention.
 """
 
+import multiprocessing
+import os
+
 import pytest
 
+from repro import obs
 from repro.baselines import (
     CommonNeighborsDetector,
     LabelPropagationDetector,
@@ -68,6 +72,94 @@ class TestSuiteEquivalence:
             jobs=16,
         )
         assert len(runs) == 2
+
+
+class _WorkerKiller:
+    """A detector that hard-kills any pool worker it runs in.
+
+    ``os._exit`` (not an exception) reproduces the real failure mode —
+    OOM-killer / segfault — that breaks the whole ProcessPoolExecutor.
+    In the parent (serial re-run) there is no parent process, so it
+    delegates to a plain Naive detection and succeeds.
+    """
+
+    name = "WorkerKiller"
+
+    def detect(self, graph):
+        if multiprocessing.parent_process() is not None:
+            os._exit(3)
+        return NaiveDetector().detect(graph)
+
+
+class TestBrokenPoolRecovery:
+    def test_dead_worker_recovered_serially(self, tiny):
+        detectors = [NaiveDetector(), _WorkerKiller(), NaiveDetector()]
+        runs = run_suite(detectors, tiny, simulate_labels=False, jobs=2)
+        assert [r.name for r in runs] == ["Naive", "WorkerKiller", "Naive"]
+        # The killer's run was recovered in the parent and flagged; its
+        # output matches what the serial path produces.
+        by_name = {id(r): r for r in runs}
+        killer = runs[1]
+        assert killer.degraded
+        assert killer.result.suspicious_users == runs[0].result.suspicious_users
+        # Runs that happened to be lost with the pool are also recovered
+        # (degraded or not, no run may be missing).
+        assert all(r.result is not None for r in by_name.values())
+
+    def test_recovery_counted_on_active_recorder(self, tiny):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            run_suite(
+                [NaiveDetector(), _WorkerKiller()],
+                tiny,
+                simulate_labels=False,
+                jobs=2,
+            )
+        assert recorder.counters["parallel.broken_pool_recoveries"] >= 1
+        assert recorder.gauges.get("parallel.degraded") is True
+
+    def test_healthy_suite_is_not_degraded(self, tiny):
+        runs = run_suite(
+            [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))],
+            tiny,
+            simulate_labels=False,
+            jobs=2,
+        )
+        assert not any(r.degraded for r in runs)
+
+
+class TestWorkerTraceAggregation:
+    def test_worker_spans_and_counters_merge_into_parent(self, tiny):
+        detectors = [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))]
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            run_suite(detectors, tiny, simulate_labels=False, jobs=2)
+        # Counters recorded inside workers arrive additively in the parent.
+        assert recorder.counters["eval.detectors_evaluated"] == len(detectors)
+        assert recorder.counters["parallel.tasks"] == len(detectors)
+        # Worker slots are numbered from zero in order of first result.
+        worker_tasks = {
+            name: value
+            for name, value in recorder.counters.items()
+            if name.startswith("parallel.worker")
+        }
+        assert sum(worker_tasks.values()) == len(detectors)
+        assert "parallel.worker0.tasks" in worker_tasks
+        assert recorder.gauges["parallel.workers_used"] == len(worker_tasks)
+        # Spans from inside the detectors crossed the process boundary.
+        assert any(path.startswith("detector.RICD") for path in recorder.spans)
+
+    def test_untraced_parallel_run_ships_no_traces(self, tiny):
+        # No recorder active: workers must not pay for recording, and the
+        # run must still succeed end to end.
+        runs = run_suite(
+            [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))],
+            tiny,
+            simulate_labels=False,
+            jobs=2,
+        )
+        assert len(runs) == 2
+        assert obs.current() is None
 
 
 class TestSweepEquivalence:

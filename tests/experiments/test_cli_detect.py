@@ -1,9 +1,12 @@
 """Tests for the ``ricd detect`` subcommand."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.graph import write_click_table
+from repro.obs import TraceReport
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +64,46 @@ class TestDetectCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "feedback rounds" in out
+
+    def test_trace_prints_stage_table(self, click_table, capsys):
+        args = ["detect", str(click_table), "--k1", "5", "--k2", "5", "--trace"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "calls" in out
+        assert "detector.RICD" in out
+        assert "extract.fixpoint_rounds" in out
+
+    def test_no_trace_by_default(self, click_table, capsys):
+        assert main(["detect", str(click_table), "--k1", "5", "--k2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" not in out and "counter" not in out
+
+    def test_trace_out_writes_json(self, click_table, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        args = [
+            "detect",
+            str(click_table),
+            "--k1",
+            "5",
+            "--k2",
+            "5",
+            "--trace-out",
+            str(trace_path),
+        ]
+        assert main(args) == 0
+        report = TraceReport.from_json(trace_path.read_text())
+        assert report.meta["command"] == "detect"
+        assert any(path.startswith("detector.RICD") for path in report.spans)
+        assert report.counters["detect.threshold_cache_misses"] >= 1
+        # --trace-out implies the printed summary too.
+        assert "wrote trace to" in capsys.readouterr().out
+
+    def test_run_trace_covers_experiment(self, tmp_path, capsys):
+        trace_path = tmp_path / "run_trace.json"
+        assert main(["run", "eq3", "--trace-out", str(trace_path)]) == 0
+        data = json.loads(trace_path.read_text())
+        assert data["meta"]["experiments"] == "eq3"
+        assert any(path.startswith("experiment.eq3") for path in data["spans"])
 
     def test_missing_file_errors(self, capsys):
         assert main(["detect", "/no/such/file.csv"]) == 2

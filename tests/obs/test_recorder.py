@@ -1,0 +1,220 @@
+"""Unit and property tests for the ``repro.obs`` recorder.
+
+The properties pinned here are the subsystem's contract with every
+instrumentation site: spans nest without double-counting, counters merge
+additively across workers, a disabled recorder leaves no trace anywhere,
+and reports survive the JSON round-trip byte-exactly.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import Recorder, SpanStat, TraceReport
+
+
+class TestDisabled:
+    def test_no_recorder_by_default(self):
+        assert obs.current() is None
+
+    def test_helpers_are_noops_when_disabled(self):
+        # Must not raise, must not create any recorder.
+        with obs.span("anything"):
+            obs.count("anything", 5)
+            obs.gauge("anything", "x")
+        assert obs.current() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        # The no-op span is one shared object: no per-call allocation on
+        # the disabled path.
+        assert obs.span("a") is obs.span("b")
+
+    def test_disabled_block_adds_no_keys_to_outer_recorder(self):
+        recorder = Recorder()
+        with obs.recording(recorder):
+            obs.count("inside")
+        # After the scope exits, instrumentation goes nowhere.
+        with obs.span("after"):
+            obs.count("after")
+        assert set(recorder.counters) == {"inside"}
+        assert recorder.spans == {}
+
+
+class TestNesting:
+    def test_dotted_paths(self):
+        recorder = Recorder()
+        with obs.recording(recorder):
+            with obs.span("a"):
+                with obs.span("b"):
+                    with obs.span("c"):
+                        pass
+                with obs.span("b"):
+                    pass
+        assert set(recorder.spans) == {"a", "a.b", "a.b.c"}
+        assert recorder.spans["a.b"][1] == 2
+
+    def test_inner_recorder_shadows_outer(self):
+        outer, inner = Recorder(), Recorder()
+        with obs.recording(outer):
+            obs.count("seen")
+            with obs.recording(inner):
+                obs.count("seen")
+            obs.count("seen")
+        assert outer.counters["seen"] == 2
+        assert inner.counters["seen"] == 1
+
+    def test_exception_still_records_and_unwinds(self):
+        recorder = Recorder()
+        try:
+            with obs.recording(recorder):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert set(recorder.spans) == {"outer", "outer.inner"}
+        assert obs.current() is None
+        assert recorder._stack == []
+
+    @given(
+        st.lists(
+            st.sampled_from(["push_a", "push_b", "pop"]), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_double_counts(self, script):
+        """Every entered interval lands exactly once in exactly one key."""
+        recorder = Recorder()
+        stack = []
+        entered = 0
+        with obs.recording(recorder):
+            for op in script:
+                if op == "pop":
+                    if stack:
+                        stack.pop().__exit__(None, None, None)
+                else:
+                    cm = obs.span(op[-1])
+                    cm.__enter__()
+                    stack.append(cm)
+                    entered += 1
+            while stack:
+                stack.pop().__exit__(None, None, None)
+        total_calls = sum(cell[1] for cell in recorder.spans.values())
+        assert total_calls == entered
+        assert all(cell[0] >= 0 for cell in recorder.spans.values())
+
+
+counter_maps = st.dictionaries(
+    st.sampled_from(["a", "b", "c.d", "e"]),
+    st.integers(min_value=0, max_value=1_000),
+    max_size=4,
+)
+span_maps = st.dictionaries(
+    st.sampled_from(["x", "x.y", "z"]),
+    st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.integers(min_value=1, max_value=100),
+    ),
+    max_size=3,
+)
+
+
+class TestMerge:
+    @given(st.lists(counter_maps, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_counters_additive_across_workers(self, worker_counts):
+        parent = Recorder()
+        for counts in worker_counts:
+            worker = Recorder()
+            for name, value in counts.items():
+                worker.count(name, value)
+            parent.merge(worker)
+        expected: dict = {}
+        for counts in worker_counts:
+            for name, value in counts.items():
+                expected[name] = expected.get(name, 0) + value
+        assert parent.counters == expected
+
+    @given(st.lists(span_maps, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_spans_additive_across_workers(self, worker_spans):
+        parent = Recorder()
+        for spans in worker_spans:
+            worker = Recorder()
+            for path, (seconds, calls) in spans.items():
+                worker.spans[path] = [seconds, calls]
+            parent.merge(worker)
+        for path in {p for spans in worker_spans for p in spans}:
+            seconds = sum(s[path][0] for s in worker_spans if path in s)
+            calls = sum(s[path][1] for s in worker_spans if path in s)
+            assert parent.spans[path][0] == seconds
+            assert parent.spans[path][1] == calls
+
+    def test_merge_accepts_exported_dict(self):
+        worker = Recorder()
+        with obs.recording(worker):
+            with obs.span("stage"):
+                obs.count("work", 3)
+                obs.gauge("engine", "sparse")
+        parent = Recorder()
+        parent.merge(worker.report().to_dict())
+        parent.merge(worker)  # list-form spans too
+        assert parent.counters["work"] == 6
+        assert parent.spans["stage"][1] == 2
+        assert parent.gauges["engine"] == "sparse"
+
+    def test_gauges_last_write_wins(self):
+        parent = Recorder()
+        first, second = Recorder(), Recorder()
+        first.gauge("engine", "reference")
+        second.gauge("engine", "sparse")
+        parent.merge(first)
+        parent.merge(second)
+        assert parent.gauges["engine"] == "sparse"
+
+
+class TestReport:
+    def test_report_freezes_state(self):
+        recorder = Recorder()
+        with obs.recording(recorder):
+            with obs.span("s"):
+                obs.count("c", 2)
+        report = recorder.report()
+        assert isinstance(report.spans["s"], SpanStat)
+        assert report.spans["s"].calls == 1
+        assert report.counters == {"c": 2}
+
+    @given(counter_maps, st.dictionaries(st.sampled_from(["g1", "g2"]), st.text(max_size=8), max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip(self, counters, gauges):
+        report = TraceReport(
+            spans={"a.b": SpanStat(seconds=1.5, calls=3)},
+            counters=dict(counters),
+            gauges=dict(gauges),
+            meta={"command": "detect"},
+        )
+        assert TraceReport.from_json(report.to_json()) == report
+
+    def test_json_is_sorted_and_stable(self):
+        report = TraceReport(counters={"b": 1, "a": 2})
+        text = report.to_json()
+        assert text == TraceReport.from_json(text).to_json()
+        assert json.loads(text)["counters"] == {"a": 2, "b": 1}
+
+    def test_render_mentions_all_sections(self):
+        recorder = Recorder()
+        with obs.recording(recorder):
+            with obs.span("stage"):
+                obs.count("events", 4)
+            obs.gauge("engine", "reference")
+        recorder.meta["command"] = "test"
+        text = recorder.report().render()
+        assert "stage" in text
+        assert "events" in text
+        assert "engine" in text
+        assert "command=test" in text
+
+    def test_empty_trace_renders(self):
+        assert "empty" in TraceReport().render()
