@@ -1,0 +1,135 @@
+"""Sharded-detection scaling: component shards vs the monolithic pipeline.
+
+The synthetic marketplaces of :mod:`repro.datagen` are one giant
+connected component — realistic for a single marketplace, but the
+regime sharding targets is the *federated* one: several regional
+marketplaces (or day-partitioned click tables) whose click graphs never
+touch.  This bench builds such a multi-region graph (independent
+scenarios with region-prefixed ids), then records, per scale:
+
+* the monolithic detector's wall-clock;
+* the sharded detector (``shards=4, shard_jobs=4``) on the same graph;
+* an output-equality sanity check — speed must never buy drift.
+
+Two effects compound in the sharded column: the process pool overlaps
+shards when cores allow, and even serially a shard's SquarePruning pass
+walks two-hop neighbourhoods bounded by its own region rather than the
+whole federation, so the sharded path wins on wall-clock at every scale
+— the largest scale is asserted, not just reported.
+"""
+
+import time
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.datagen import AttackConfig, MarketplaceConfig, generate_scenario
+from repro.graph import BipartiteGraph
+from repro.shard.runner import detect_sharded
+
+PARAMS = RICDParams(k1=5, k2=5)
+REGIONS = 6
+SHARDS = 4
+JOBS = 4
+
+# users / items per region; the federation is REGIONS x this.
+SCALES = {
+    "0.5x": (1_000, 250),
+    "1x": (2_000, 500),
+    "2x": (4_000, 1_000),
+}
+
+
+def _federated_graph(scale: str) -> BipartiteGraph:
+    """REGIONS independent marketplaces merged under region-prefixed ids."""
+    n_users, n_items = SCALES[scale]
+    graph = BipartiteGraph()
+    for region in range(REGIONS):
+        scenario = generate_scenario(
+            MarketplaceConfig(n_users=n_users, n_items=n_items, seed=5 + region),
+            AttackConfig(n_groups=2, seed=100 + region),
+        )
+        for user, item, clicks in scenario.graph.edges():
+            graph.add_click(f"r{region}:{user}", f"r{region}:{item}", clicks)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def federated_graphs():
+    return {scale: _federated_graph(scale) for scale in SCALES}
+
+
+def _rounds(scale: str) -> int:
+    return 1 if scale == "2x" else 2
+
+
+def _canonical(result):
+    return sorted(
+        (sorted(map(str, group.users)), sorted(map(str, group.items)))
+        for group in result.groups
+    )
+
+
+def _detect_unsharded(graph):
+    return RICDDetector(params=PARAMS).detect(graph)
+
+
+def _detect_sharded(graph):
+    detector = RICDDetector(params=PARAMS, shards=SHARDS, shard_jobs=JOBS)
+    return detector.detect(graph)
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_unsharded_baseline(benchmark, federated_graphs, scale):
+    graph = federated_graphs[scale]
+    benchmark.pedantic(
+        _detect_unsharded, args=(graph,), rounds=_rounds(scale), iterations=1
+    )
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_sharded_pipeline(benchmark, federated_graphs, scale):
+    graph = federated_graphs[scale]
+    benchmark.pedantic(
+        _detect_sharded, args=(graph,), rounds=_rounds(scale), iterations=1
+    )
+
+
+def test_sharded_outputs_are_identical(federated_graphs):
+    graph = federated_graphs["0.5x"]
+    reference = _detect_unsharded(graph)
+    sharded = RICDDetector(params=PARAMS, shards=SHARDS, shard_jobs=JOBS)
+    assert _canonical(detect_sharded(sharded, graph)) == _canonical(reference)
+
+
+def test_shard_scaling_report(benchmark, federated_graphs, emit_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"Shard scaling — {REGIONS}-region federation, "
+        f"shards={SHARDS} jobs={JOBS} (min of repeats):"
+    ]
+    final_pair = None
+    for scale, graph in federated_graphs.items():
+        samples = {"unsharded": [], "sharded": []}
+        for _ in range(_rounds(scale)):
+            start = time.perf_counter()
+            reference = _detect_unsharded(graph)
+            samples["unsharded"].append(time.perf_counter() - start)
+            start = time.perf_counter()
+            sharded = _detect_sharded(graph)
+            samples["sharded"].append(time.perf_counter() - start)
+        assert _canonical(sharded) == _canonical(reference)
+        unsharded_s = min(samples["unsharded"])
+        sharded_s = min(samples["sharded"])
+        final_pair = (unsharded_s, sharded_s)
+        lines.append(
+            f"  {scale:>4}: {graph.num_edges:,} edges -> "
+            f"unsharded {unsharded_s:.2f}s, sharded {sharded_s:.2f}s "
+            f"({unsharded_s / sharded_s:.2f}x)"
+        )
+    emit_report("\n".join(lines))
+    # The payoff claim at the largest federation: sharded detection is
+    # never slower than the monolithic pipeline.
+    unsharded_s, sharded_s = final_pair
+    assert sharded_s <= unsharded_s

@@ -91,6 +91,17 @@ class RICDDetector:
         reference to the sparse engine.  The 20k default is where the
         sparse engine's fixed costs amortise on typical marketplaces;
         benchmarks and the CLI can tune it per workload.
+    shards:
+        ``> 1`` partitions the click graph into that many (at most)
+        component-aligned shards and runs extraction + screening per
+        shard with globally resolved thresholds — identical output to
+        the unsharded path (see :mod:`repro.shard.runner` for the
+        argument, ``tests/shard/`` for the proof-by-test).  ``1`` (the
+        default) keeps the classic single-graph path.
+    shard_jobs:
+        Worker processes for the per-shard fan-out when ``shards > 1``;
+        ``1`` runs shards in-line.  Like ``jobs`` elsewhere, wall-clock
+        wins need real cores.
 
     Examples
     --------
@@ -112,6 +123,8 @@ class RICDDetector:
     strict_feedback: bool = False
     engine: str = "reference"
     auto_engine_edge_threshold: int = 20_000
+    shards: int = 1
+    shard_jobs: int = 1
 
     #: Memoized (graph, version) -> resolved params; detection output is
     #: unaffected (thresholds are pure functions of the graph state), so the
@@ -145,6 +158,10 @@ class RICDDetector:
             raise ValueError(
                 f"engine must be 'reference', 'sparse' or 'auto', got {self.engine!r}"
             )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_jobs < 1:
+            raise ValueError(f"shard_jobs must be >= 1, got {self.shard_jobs}")
 
     def _extract(self, graph: BipartiteGraph, params: RICDParams):
         """Run the configured extraction engine."""
@@ -263,6 +280,10 @@ class RICDDetector:
         seed_items: Sequence[Node],
     ) -> DetectionResult:
         """The framework body ``detect`` wraps with its observability span."""
+        if self.shards > 1:
+            from ..shard.runner import detect_sharded
+
+            return detect_sharded(self, graph, seed_users, seed_items)
         timer = Stopwatch()
         with obs.span("thresholds"):
             params = self.resolve_thresholds(graph)

@@ -28,11 +28,17 @@ counters add) and keeps per-worker task counts under
 ``parallel.worker<N>.tasks``, with worker slots numbered by order of
 first result so traces are stable run to run.
 
+The same machinery also fans out *one* detection: the shard orchestrator
+(:mod:`repro.shard.runner`) submits one task per shard subgraph through
+:func:`run_shards_parallel`, with the detector and its globally resolved
+thresholds shipped once via the pool initializer.
+
 Entry points are not called directly: pass ``jobs=`` to
 :func:`repro.eval.harness.run_suite` or
 :func:`repro.eval.sweeps.sensitivity_sweep` (or ``--jobs`` on the CLI),
 which delegate here when ``jobs > 1`` and keep the serial fallback
-otherwise.  Wall-clock wins require actual cores; on a single-CPU host
+otherwise; sharded detection delegates via ``RICDDetector(shards=...,
+shard_jobs=...)``.  Wall-clock wins require actual cores; on a single-CPU host
 the fork/pickle overhead makes ``jobs=1`` the right setting, which is why
 it stays the default.
 """
@@ -50,12 +56,15 @@ from .. import obs
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines import Detector
     from ..config import RICDParams, ScreeningParams
+    from ..core.framework import RICDDetector
+    from ..core.groups import SuspiciousGroup
     from ..datagen.scenario import Scenario
+    from ..graph.bipartite import BipartiteGraph
     from .groundtruth import KnownLabels
     from .harness import DetectorRun
     from .sweeps import SweepPoint
 
-__all__ = ["run_suite_parallel", "sensitivity_sweep_parallel"]
+__all__ = ["run_suite_parallel", "sensitivity_sweep_parallel", "run_shards_parallel"]
 
 #: Per-worker shared state, installed once by the pool initializer.
 _WORKER_STATE: dict = {}
@@ -204,6 +213,77 @@ def run_suite_parallel(
         _evaluate_one_detector,
         _init_suite_worker,
         (scenario, known, obs.current() is not None),
+        jobs,
+        recover,
+    )
+
+
+# ----------------------------------------------------------------------
+# sharded detection fan-out: one worker task per shard subgraph
+# ----------------------------------------------------------------------
+def _init_shard_worker(
+    detector: "RICDDetector",
+    params: "RICDParams",
+    screening: "ScreeningParams",
+    trace: bool,
+) -> None:
+    _WORKER_STATE["detector"] = detector
+    _WORKER_STATE["params"] = params
+    _WORKER_STATE["screening"] = screening
+    _WORKER_STATE["trace"] = trace
+
+
+def _run_one_shard(
+    payload: tuple[int, tuple[int, "BipartiteGraph"]],
+) -> tuple[int, "list[SuspiciousGroup]", dict | None, int]:
+    from .._util import Stopwatch
+
+    index, (shard_index, shard_graph) = payload
+
+    def task() -> "list[SuspiciousGroup]":
+        # The span prefixes everything the shard records (extraction,
+        # screening, counters via merge) under shard.<i>, so a merged
+        # trace reads like the serial sharded run's.
+        with obs.span(f"shard.{shard_index}"):
+            return _WORKER_STATE["detector"]._run_modules(
+                shard_graph,
+                _WORKER_STATE["params"],
+                _WORKER_STATE["screening"],
+                Stopwatch(),
+            )
+
+    groups, trace, pid = _run_traced(task)
+    return index, groups, trace, pid
+
+
+def run_shards_parallel(
+    detector: "RICDDetector",
+    shard_graphs: "list[BipartiteGraph]",
+    params: "RICDParams",
+    screening: "ScreeningParams",
+    jobs: int,
+) -> "list[list[SuspiciousGroup]]":
+    """Run modules 1 + 2 over every shard across ``jobs`` processes.
+
+    The detector (with its *resolved* global parameters — thresholds are
+    never re-derived in a worker) ships once through the pool
+    initializer; tasks carry only their shard subgraph.  Per-shard group
+    lists come back in shard order.  A shard whose worker died is re-run
+    serially in the parent, exactly like a lost suite detector.
+    """
+
+    def recover(pair: tuple[int, "BipartiteGraph"]) -> "list[SuspiciousGroup]":
+        from .._util import Stopwatch
+
+        shard_index, shard_graph = pair
+        with obs.span(f"shard.{shard_index}"):
+            return detector._run_modules(shard_graph, params, screening, Stopwatch())
+
+    return _fan_out(
+        list(enumerate(shard_graphs)),
+        _run_one_shard,
+        _init_shard_worker,
+        (detector, params, screening, obs.current() is not None),
         jobs,
         recover,
     )

@@ -1,0 +1,30 @@
+"""Component-sharded detection: partition the click graph, detect per shard.
+
+``(alpha, k1, k2)``-extension bicliques are connected subgraphs, so they
+can never span two connected components of the user-item click graph.
+That makes partition-and-merge a *semantics-preserving* scaling layer for
+the RICD pipeline: split the graph into shards that are unions of whole
+components, run the full extraction → screening pipeline per shard with
+**globally** resolved thresholds, and merge the per-shard groups.  The
+formal argument lives in :mod:`repro.shard.runner`'s docstring; the
+metamorphic test suite in ``tests/shard/`` pins it.
+
+Public surface:
+
+* :func:`repro.shard.partition.partition_graph` — component discovery plus
+  greedy balanced bin-packing into a :class:`~repro.shard.partition.ShardPlan`;
+* :func:`repro.shard.runner.detect_sharded` — the orchestrator
+  :class:`~repro.core.framework.RICDDetector` delegates to when
+  ``shards > 1`` (also reachable via ``ricd detect --shards N``).
+"""
+
+from .partition import ShardPlan, graph_components, partition_graph
+from .runner import detect_sharded, merge_groups
+
+__all__ = [
+    "ShardPlan",
+    "graph_components",
+    "partition_graph",
+    "detect_sharded",
+    "merge_groups",
+]

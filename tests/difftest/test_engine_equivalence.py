@@ -22,57 +22,18 @@ from repro.config import RICDParams
 from repro.core.extraction import extract_groups
 from repro.core.extraction_sparse import extract_groups_sparse, sparse_available
 from repro.core.framework import RICDDetector
-from repro.datagen import AttackConfig, MarketplaceConfig, generate_scenario
 from repro.eval import run_suite
 from repro.eval.reporting import format_float, render_table
 
+from .scenarios import SCENARIO_GRID, build_scenario
+
 pytestmark = pytest.mark.difftest
-
-#: (label, seed, attack density, popularity exponent, camouflage on?).
-#: Density 1.0 = perfect bicliques (CorePruning-only territory); 0.7 =
-#: ragged near-bicliques where SquarePruning does the work.  The exponent
-#: steepens the hot-item skew, moving T_hot and the screening decisions.
-SCENARIO_GRID = [
-    ("dense-flat", 11, 1.0, 2.0, False),
-    ("dense-skewed", 12, 1.0, 3.2, True),
-    ("ragged-flat", 13, 0.7, 2.0, True),
-    ("ragged-skewed", 14, 0.7, 3.2, False),
-    ("sparse-attack", 15, 0.55, 2.6, True),
-]
-
-
-def _scenario(seed: int, density: float, exponent: float, camouflage: bool):
-    marketplace = MarketplaceConfig(
-        n_users=1_500,
-        n_items=400,
-        popularity_exponent=exponent,
-        n_cohorts=3,
-        cohort_users=(10, 20),
-        cohort_items=(6, 10),
-        n_superfans=20,
-        n_swarms=1,
-        swarm_users=(20, 24),
-        swarm_items=(6, 8),
-        seed=seed,
-    )
-    attacks = AttackConfig(
-        n_groups=3,
-        workers_per_group=(6, 9),
-        targets_per_group=(6, 9),
-        target_clicks=(12, 14),
-        density=density,
-        camouflage_items=(3, 8) if camouflage else (0, 0),
-        sloppy_fraction=0.2,
-        sloppy_target_clicks=(3, 6),
-        seed=seed + 1,
-    )
-    return generate_scenario(marketplace, attacks)
 
 
 @pytest.fixture(scope="module", params=SCENARIO_GRID, ids=lambda case: case[0])
 def scenario(request):
     _, seed, density, exponent, camouflage = request.param
-    return _scenario(seed, density, exponent, camouflage)
+    return build_scenario(seed, density, exponent, camouflage)
 
 
 def _group_set(groups):
@@ -103,29 +64,40 @@ class TestEngineEquivalence:
         assert _group_set(reference) == _group_set(sparse)
 
     @needs_scipy
-    def test_full_detector_identical_across_engines(self, scenario):
+    def test_full_detector_identical_across_engines(self, scenario, shard_count):
         params = RICDParams(k1=5, k2=5)
         keys = {}
         for engine in ("reference", "sparse", "auto"):
             detector = RICDDetector(
-                params=params, engine=engine, auto_engine_edge_threshold=1
+                params=params,
+                engine=engine,
+                auto_engine_edge_threshold=1,
+                shards=shard_count,
             )
             keys[engine] = _result_key(detector.detect(scenario.graph))
         assert keys["reference"] == keys["sparse"] == keys["auto"]
 
     @needs_scipy
-    def test_auto_threshold_does_not_change_output(self, scenario):
+    def test_auto_threshold_does_not_change_output(self, scenario, shard_count):
         params = RICDParams(k1=5, k2=5)
-        low = RICDDetector(params=params, engine="auto", auto_engine_edge_threshold=1)
+        low = RICDDetector(
+            params=params,
+            engine="auto",
+            auto_engine_edge_threshold=1,
+            shards=shard_count,
+        )
         high = RICDDetector(
-            params=params, engine="auto", auto_engine_edge_threshold=10**9
+            params=params,
+            engine="auto",
+            auto_engine_edge_threshold=10**9,
+            shards=shard_count,
         )
         assert _result_key(low.detect(scenario.graph)) == _result_key(
             high.detect(scenario.graph)
         )
 
 
-def _suite():
+def _suite(shards: int = 1):
     # COPYCATCH is excluded: its wall-clock deadline is the one legitimate
     # source of run-to-run variation (see tests/eval/test_parallel.py).
     from repro.baselines import (
@@ -137,7 +109,7 @@ def _suite():
 
     params = RICDParams(k1=5, k2=5)
     return [
-        RICDDetector(params=params),
+        RICDDetector(params=params, shards=shards),
         WithScreening(LabelPropagationDetector(min_users=5, min_items=5)),
         WithScreening(
             CommonNeighborsDetector(cn_threshold=5, min_users=5, min_items=5)
@@ -169,17 +141,17 @@ def _suite_report(runs) -> str:
 
 
 class TestParallelEquivalence:
-    def test_serial_vs_jobs2_reports_byte_identical(self, scenario):
-        serial = run_suite(_suite(), scenario, label_seed=5)
-        parallel = run_suite(_suite(), scenario, label_seed=5, jobs=2)
+    def test_serial_vs_jobs2_reports_byte_identical(self, scenario, shard_count):
+        serial = run_suite(_suite(shard_count), scenario, label_seed=5)
+        parallel = run_suite(_suite(shard_count), scenario, label_seed=5, jobs=2)
         assert _suite_report(serial) == _suite_report(parallel)
         for left, right in zip(serial, parallel):
             assert _result_key(left.result) == _result_key(right.result)
 
 
 class TestRecorderTransparency:
-    def test_enabled_recorder_changes_no_detection_output(self, scenario):
-        detector = RICDDetector(params=RICDParams(k1=5, k2=5))
+    def test_enabled_recorder_changes_no_detection_output(self, scenario, shard_count):
+        detector = RICDDetector(params=RICDParams(k1=5, k2=5), shards=shard_count)
         plain = detector.detect(scenario.graph)
         with obs.recording(obs.Recorder()) as recorder:
             traced = detector.detect(scenario.graph)
@@ -187,8 +159,8 @@ class TestRecorderTransparency:
         # Sanity: the traced run really did record.
         assert recorder.counters["identify.groups"] == len(traced.groups)
 
-    def test_traced_suite_report_matches_untraced(self, scenario):
-        untraced = run_suite(_suite(), scenario, label_seed=5, jobs=2)
+    def test_traced_suite_report_matches_untraced(self, scenario, shard_count):
+        untraced = run_suite(_suite(shard_count), scenario, label_seed=5, jobs=2)
         with obs.recording(obs.Recorder()):
-            traced = run_suite(_suite(), scenario, label_seed=5, jobs=2)
+            traced = run_suite(_suite(shard_count), scenario, label_seed=5, jobs=2)
         assert _suite_report(untraced) == _suite_report(traced)

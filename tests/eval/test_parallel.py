@@ -128,6 +128,55 @@ class TestBrokenPoolRecovery:
         assert not any(r.degraded for r in runs)
 
 
+class TestWorkerSlotNumbering:
+    @staticmethod
+    def _worker_slots(recorder):
+        slots = []
+        for name in recorder.counters:
+            if name.startswith("parallel.worker"):
+                slots.append(int(name.split(".")[1].removeprefix("worker")))
+        return sorted(set(slots))
+
+    def test_slots_are_dense_on_a_healthy_pool(self, tiny):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            run_suite(
+                [NaiveDetector() for _ in range(4)],
+                tiny,
+                simulate_labels=False,
+                jobs=3,
+            )
+        slots = self._worker_slots(recorder)
+        assert slots == list(range(len(slots)))
+
+    def test_slots_stay_dense_after_broken_pool_recovery(self, tiny):
+        """Regression: serial re-runs must not leave holes in the
+        ``parallel.worker<N>.tasks`` numbering.
+
+        Slots are assigned per worker *pid* in order of first shipped
+        trace; tasks recovered in the parent after the pool breaks ship
+        no worker trace, so the numbering over surviving workers must
+        remain 0..k with no gaps — a pid-keyed scheme would skip numbers.
+        """
+        detectors = [
+            NaiveDetector(),
+            _WorkerKiller(),
+            NaiveDetector(),
+            _WorkerKiller(),
+            NaiveDetector(),
+        ]
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            runs = run_suite(detectors, tiny, simulate_labels=False, jobs=3)
+        assert len(runs) == len(detectors)
+        assert recorder.counters["parallel.broken_pool_recoveries"] >= 1
+        slots = self._worker_slots(recorder)
+        assert slots == list(range(len(slots)))
+        # The gauge agrees with the densely numbered slot count.
+        if slots:
+            assert recorder.gauges["parallel.workers_used"] == len(slots)
+
+
 class TestWorkerTraceAggregation:
     def test_worker_spans_and_counters_merge_into_parent(self, tiny):
         detectors = [NaiveDetector(), RICDDetector(params=RICDParams(k1=4, k2=4))]

@@ -1,6 +1,7 @@
 """Tests for the ``ricd detect`` subcommand."""
 
 import json
+import re
 
 import pytest
 
@@ -104,6 +105,42 @@ class TestDetectCommand:
         data = json.loads(trace_path.read_text())
         assert data["meta"]["experiments"] == "eq3"
         assert any(path.startswith("experiment.eq3") for path in data["spans"])
+
+    def test_sharded_detect_matches_unsharded(self, click_table, capsys):
+        def scrubbed(text):
+            return re.sub(r"\d+\.\d+s", "<time>", text)
+
+        assert main(["detect", str(click_table), "--k1", "5", "--k2", "5"]) == 0
+        unsharded = scrubbed(capsys.readouterr().out)
+        args = ["detect", str(click_table), "--k1", "5", "--k2", "5", "--shards", "3"]
+        assert main(args) == 0
+        assert scrubbed(capsys.readouterr().out) == unsharded
+        assert main(args + ["--jobs", "2"]) == 0
+        assert scrubbed(capsys.readouterr().out) == unsharded
+
+    def test_sharded_trace_records_plan(self, click_table, tmp_path, capsys):
+        trace_path = tmp_path / "shard_trace.json"
+        args = [
+            "detect",
+            str(click_table),
+            "--k1",
+            "5",
+            "--k2",
+            "5",
+            "--shards",
+            "4",
+            "--trace-out",
+            str(trace_path),
+        ]
+        assert main(args) == 0
+        report = TraceReport.from_json(trace_path.read_text())
+        assert report.meta["shards"] == 4
+        assert report.gauges["shard.requested"] == 4
+        assert any(".shard." in path for path in report.spans)
+
+    def test_invalid_shards_error(self, click_table, capsys):
+        assert main(["detect", str(click_table), "--shards", "0"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_missing_file_errors(self, capsys):
         assert main(["detect", "/no/such/file.csv"]) == 2

@@ -1,0 +1,1 @@
+"""Package marker for the shard suite; shared helpers live in ``canon.py``."""

@@ -1,0 +1,147 @@
+"""Adversarial partitions: attacks that naive sharding would cut in half.
+
+The component partitioner's one invariant — never split a connected
+component — is exactly what hash/range partitioning violates.  This
+module builds the canonical counterexample from the ISSUE: an attack
+group whose members straddle two organic communities glued together by a
+shared hot item.  Any node-level split (user-id hash, round-robin)
+scatters the attackers across workers, leaving each worker with a
+fragment too small to clear the ``k1`` core floor; the component
+partitioner keeps the whole component on one shard and the group
+survives intact.
+"""
+
+from __future__ import annotations
+
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.graph import BipartiteGraph
+from repro.shard.partition import partition_graph
+from repro.shard.runner import detect_sharded
+
+from .canon import canonical_groups, canonical_result
+
+N_ATTACKERS = 6
+ATTACK_USERS = frozenset(f"a{a}" for a in range(N_ATTACKERS))
+ATTACK_ITEMS = frozenset(f"x{x}" for x in range(4))
+
+# k1 = 4 is the adversarial pivot: the full 6-user group clears it, but
+# any half of the group (3 users) cannot.
+PARAMS = RICDParams(k1=4, k2=3, t_hot=40.0, t_click=3.0)
+
+
+def straddling_attack_graph() -> BipartiteGraph:
+    """Two communities, one shared hot item, one straddling attack group.
+
+    * Communities ``ca*`` / ``cb*``: organic users with sparse, sub-
+      ``T_click`` browsing plus light traffic on the shared hot item
+      ``H`` — the glue that makes everything one connected component.
+    * Attack group ``a0..a5`` x ``x0..x3``: a heavy biclique.  Attackers
+      ride ``H`` (moderately — hot-item averages stay under the Fig. 5
+      cutoff) and camouflage into the communities: ``a0..a2`` click a
+      community-A item, ``a3..a5`` a community-B item.  A user-id split
+      therefore tears the group *and* each half loses its other half's
+      community context.
+    """
+    graph = BipartiteGraph()
+    for prefix, size in (("ca", 8), ("cb", 8)):
+        for u in range(size):
+            graph.add_click(f"{prefix}{u}", "H", 2)
+            graph.add_click(f"{prefix}{u}", f"i{prefix}{u % 4}", 1)
+            graph.add_click(f"{prefix}{u}", f"i{prefix}{(u + 1) % 4}", 1)
+    for a in range(N_ATTACKERS):
+        for item in sorted(ATTACK_ITEMS):
+            graph.add_click(f"a{a}", item, 5)
+        graph.add_click(f"a{a}", "H", 3)
+        side = "ca" if a < N_ATTACKERS // 2 else "cb"
+        graph.add_click(f"a{a}", f"i{side}{a % 4}", 1)
+    return graph
+
+
+def _naive_hash_halves(graph: BipartiteGraph):
+    """User-id hash partitioning into two workers (what we refuse to do).
+
+    Each worker receives its users with all incident edges — the usual
+    vertex-cut layout — so items on the boundary are replicated.
+    """
+    users = sorted(map(str, graph.users()))
+    halves = []
+    for parity in (0, 1):
+        half_users = {u for index, u in enumerate(users) if index % 2 == parity}
+        items: set = set()
+        for user in half_users:
+            items |= set(graph.user_neighbors(user))
+        halves.append(graph.subgraph(half_users, items))
+    return halves
+
+
+class TestStraddlingAttack:
+    def test_unsharded_reference_finds_group_intact(self):
+        result = RICDDetector(params=PARAMS, max_group_users=None).detect(
+            straddling_attack_graph()
+        )
+        assert canonical_groups(result.groups) == {
+            (ATTACK_USERS, ATTACK_ITEMS, frozenset({"H"}))
+        }
+
+    def test_component_sharding_keeps_group_intact(self):
+        graph = straddling_attack_graph()
+        reference = RICDDetector(params=PARAMS, max_group_users=None).detect(graph)
+        for shards in (2, 3, 5):
+            detector = RICDDetector(
+                params=PARAMS, max_group_users=None, shards=shards
+            )
+            sharded = detect_sharded(detector, graph)
+            assert canonical_result(sharded) == canonical_result(reference)
+            assert ATTACK_USERS <= set(map(str, sharded.suspicious_users))
+
+    def test_partitioner_refuses_to_split_the_component(self):
+        graph = straddling_attack_graph()
+        plan = partition_graph(graph, 2)
+        # The hot item glues everything into one component: the plan
+        # collapses to a single shard holding it whole, and flags it mega.
+        assert len(plan) == 1
+        assert plan.mega_components
+        assert ATTACK_USERS <= set(map(str, plan.shard_users(0)))
+
+    def test_naive_hash_partitioning_would_lose_the_group(self):
+        """Sanity check that the scenario is actually adversarial."""
+        graph = straddling_attack_graph()
+        halves = _naive_hash_halves(graph)
+        # The split really does tear the attack group apart...
+        per_half = [
+            {u for u in map(str, half.users()) if u in ATTACK_USERS}
+            for half in halves
+        ]
+        assert all(0 < len(part) < N_ATTACKERS for part in per_half)
+        # ...and neither worker can reassemble it: each fragment is below
+        # the k1 core floor, so naive sharding reports a clean graph.
+        for half in halves:
+            result = RICDDetector(params=PARAMS, max_group_users=None).detect(half)
+            assert result.groups == []
+
+    def test_attack_component_survives_among_decoys(self):
+        """With other components present the plan is multi-shard, yet the
+        straddling component still travels whole."""
+        graph = straddling_attack_graph()
+        for d in range(6):  # independent organic decoy components
+            for u in range(3):
+                graph.add_click(f"d{d}:u{u}", f"d{d}:i{u}", 1)
+                graph.add_click(f"d{d}:u{u}", f"d{d}:i{(u + 1) % 3}", 1)
+        plan = partition_graph(graph, 3)
+        assert len(plan) == 3
+        owners = [
+            index
+            for index in range(len(plan))
+            if plan.shard_users(index) & ATTACK_USERS
+        ]
+        assert len(owners) == 1  # never scattered
+        assert ATTACK_USERS <= plan.shard_users(owners[0])
+        reference = RICDDetector(params=PARAMS, max_group_users=None).detect(graph)
+        sharded = detect_sharded(
+            RICDDetector(params=PARAMS, max_group_users=None, shards=3), graph
+        )
+        assert canonical_result(sharded) == canonical_result(reference)
+        assert canonical_groups(sharded.groups) == {
+            (ATTACK_USERS, ATTACK_ITEMS, frozenset({"H"}))
+        }

@@ -1,0 +1,142 @@
+"""Orchestrator-level tests: merge determinism, tracing, pool recovery.
+
+The metamorphic suite pins *what* the sharded pipeline computes; this
+module pins *how* the orchestrator behaves around it — the canonical
+merge order, seeded detection, observability wiring, constructor
+validation, and the broken-process-pool fallback shared with the
+evaluation harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.graph import BipartiteGraph
+from repro.shard.runner import detect_sharded, group_sort_key, merge_groups
+
+from .canon import canonical_result
+from .test_thresholds import cold_attack_marketplace
+
+PARAMS = RICDParams(k1=3, k2=3, t_click=5.0)
+
+
+def _detector(**overrides) -> RICDDetector:
+    keywords = {"params": PARAMS, "max_group_users": None}
+    keywords.update(overrides)
+    return RICDDetector(**keywords)
+
+
+class TestMergeGroups:
+    def test_merge_is_invariant_under_shard_order(self):
+        graph, _ = cold_attack_marketplace(0)
+        result = detect_sharded(_detector(shards=4), graph)
+        groups = list(result.groups)
+        assert groups  # non-vacuous
+        rng = random.Random(7)
+        for _ in range(10):
+            buckets = [[] for _ in range(4)]
+            for group in groups:
+                buckets[rng.randrange(4)].append(group)
+            rng.shuffle(buckets)
+            assert merge_groups(buckets) == groups
+
+    def test_sort_key_is_a_total_order_on_distinct_groups(self):
+        graph, _ = cold_attack_marketplace(5)
+        groups = detect_sharded(_detector(shards=3), graph).groups
+        keys = [group_sort_key(group) for group in groups]
+        assert len(set(keys)) == len(keys)
+        assert keys == sorted(keys)
+
+    def test_merge_of_empty_shards(self):
+        assert merge_groups([[], [], []]) == []
+
+
+class TestSeededDetection:
+    def test_seeded_sharded_matches_seeded_unsharded(self):
+        graph, n_attackers = cold_attack_marketplace(1)
+        seeds = [f"cold:a{a}" for a in range(n_attackers)]
+        reference = _detector().detect(graph, seed_users=seeds)
+        sharded = detect_sharded(_detector(shards=3), graph, seed_users=seeds)
+        assert canonical_result(sharded) == canonical_result(reference)
+        assert set(seeds) <= set(map(str, sharded.suspicious_users))
+
+    def test_empty_graph(self):
+        result = detect_sharded(_detector(shards=4), BipartiteGraph())
+        assert result.groups == [] and result.suspicious_users == set()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["shards", "shard_jobs"])
+    @pytest.mark.parametrize("value", [0, -2])
+    def test_constructor_rejects_non_positive(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            RICDDetector(params=PARAMS, **{field: value})
+
+
+class TestShardTracing:
+    def test_serial_shards_nest_under_the_detector_span(self):
+        graph, _ = cold_attack_marketplace(2)
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            _detector(shards=3).detect(graph)
+        spans = set(recorder.spans)
+        assert "detector.RICD.thresholds" in spans
+        assert "detector.RICD.partition" in spans
+        assert "detector.RICD.shard.0.extraction" in spans
+        assert "detector.RICD.identification" in spans
+        assert recorder.gauges["shard.effective"] >= 2
+
+    def test_parallel_shards_merge_worker_traces(self):
+        graph, _ = cold_attack_marketplace(2)
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            result = _detector(shards=3, shard_jobs=2).detect(graph)
+        serial = _detector(shards=3).detect(graph)
+        assert canonical_result(result) == canonical_result(serial)
+        # Worker-side spans come back flat (merged like suite workers)...
+        assert any(path.startswith("shard.") for path in recorder.spans)
+        # ...and the pool accounting matches the plan's shard count.
+        worker_tasks = {
+            name: value
+            for name, value in recorder.counters.items()
+            if name.startswith("parallel.worker")
+        }
+        assert sum(worker_tasks.values()) == recorder.gauges["shard.effective"]
+
+
+@dataclasses.dataclass
+class _ShardWorkerKiller(RICDDetector):
+    """Hard-kills any process-pool worker it runs modules in.
+
+    ``os._exit`` (not an exception) reproduces the OOM-killer/segfault
+    failure mode that breaks the whole ProcessPoolExecutor.  In the
+    parent — where the serial recovery path runs — there is no parent
+    process, so modules run normally.
+    """
+
+    def _run_modules(self, graph, params, screening, timer):
+        if multiprocessing.parent_process() is not None:
+            os._exit(3)
+        return super()._run_modules(graph, params, screening, timer)
+
+
+class TestBrokenPoolRecovery:
+    def test_dead_shard_workers_recovered_serially(self):
+        graph, _ = cold_attack_marketplace(4)
+        killer = _ShardWorkerKiller(
+            params=PARAMS, max_group_users=None, shards=3, shard_jobs=2
+        )
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            recovered = killer.detect(graph)
+        reference = _detector(shards=3).detect(graph)
+        assert canonical_result(recovered) == canonical_result(reference)
+        assert recorder.counters["parallel.broken_pool_recoveries"] >= 1

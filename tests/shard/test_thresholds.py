@@ -1,0 +1,132 @@
+"""Fuzz regression: ``T_hot`` / ``T_click`` stay global under sharding.
+
+The thresholds are *marketplace* statistics (Section IV): the Pareto hot
+cutoff and the Eq. 4 abnormal-click level describe the whole platform,
+not any shard of it.  The orchestrator therefore resolves them once on
+the unpartitioned graph and passes the resolved values into every shard.
+
+The regression these tests pin: a shard containing only cold, low-traffic
+components must NOT re-derive thresholds from its own (much smaller)
+click distribution.  A shard-local Pareto cutoff over a cold component
+lands a couple of orders of magnitude below the global one, promoting
+ordinary cold items to "hot" — which flips screening's item
+classification and users' hot-average checks.  The seeded generator
+builds graphs where local and global thresholds provably differ, and the
+counting monkeypatches assert the derivation functions run exactly once,
+on the full graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.framework as framework_module
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.core.thresholds import pareto_hot_threshold, t_click_from_graph
+from repro.graph import BipartiteGraph
+from repro.shard.partition import partition_graph
+from repro.shard.runner import detect_sharded
+
+from .canon import canonical_result
+
+SEEDS = range(6)
+
+
+def cold_attack_marketplace(seed: int) -> tuple[BipartiteGraph, int]:
+    """A hot marketplace component plus a disconnected cold-only component.
+
+    The ``hot:`` component carries organic blockbuster traffic that sets
+    the global thresholds; the ``cold:`` component holds an attack
+    biclique (plus organic filler) whose item totals sit far below the
+    global ``T_hot``.  Returns the graph and the attacker count.
+    """
+    rng = random.Random(seed)
+    graph = BipartiteGraph()
+    for u in range(40):
+        for i in rng.sample(range(6), 3):
+            graph.add_click(f"hot:u{u}", f"hot:i{i}", rng.randint(5, 12))
+    n_attackers = rng.randint(4, 6)
+    n_targets = rng.randint(3, 4)
+    for a in range(n_attackers):
+        for x in range(n_targets):
+            graph.add_click(f"cold:a{a}", f"cold:x{x}", rng.randint(5, 6))
+    for u in range(12):
+        graph.add_click(f"cold:u{u}", f"cold:i{u % 5}", 1)
+        graph.add_click(f"cold:u{u}", f"cold:i{(u + 1) % 5}", 1)
+    return graph, n_attackers
+
+
+def _cold_only_subgraphs(graph: BipartiteGraph, shards: int):
+    plan = partition_graph(graph, shards)
+    return [
+        plan.subgraph(graph, index)
+        for index in range(len(plan))
+        if all(str(item).startswith("cold:") for item in plan.shard_items(index))
+    ]
+
+
+# Fixed T_click isolates the T_hot derivation; the attack stays findable
+# (clicks of 5-6 against the floor of 5) so equivalence is non-vacuous.
+T_HOT_ONLY = RICDParams(k1=3, k2=3, t_click=5.0)
+
+
+class TestThresholdGlobality:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_local_recomputation_would_actually_differ(self, seed):
+        """The fuzz has teeth: shard-local thresholds are genuinely wrong."""
+        graph, _ = cold_attack_marketplace(seed)
+        global_t_hot = pareto_hot_threshold(graph)
+        global_t_click = t_click_from_graph(graph)
+        cold_shards = _cold_only_subgraphs(graph, 3)
+        assert cold_shards  # the partitioner isolated cold components
+        for shard_graph in cold_shards:
+            assert pareto_hot_threshold(shard_graph) < global_t_hot
+            assert t_click_from_graph(shard_graph) != global_t_click
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cold_shard_detection_matches_unsharded(self, seed):
+        graph, n_attackers = cold_attack_marketplace(seed)
+        reference = RICDDetector(params=T_HOT_ONLY, max_group_users=None).detect(
+            graph
+        )
+        # Non-vacuous: the cold-component attack group is actually found.
+        attackers = {f"cold:a{a}" for a in range(n_attackers)}
+        assert attackers <= set(map(str, reference.suspicious_users))
+        sharded = detect_sharded(
+            RICDDetector(params=T_HOT_ONLY, max_group_users=None, shards=3), graph
+        )
+        assert canonical_result(sharded) == canonical_result(reference)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_thresholds_resolved_once_on_the_full_graph(self, seed, monkeypatch):
+        """Directly assert shard-local recomputation is NOT happening."""
+        graph, _ = cold_attack_marketplace(seed)
+        t_hot_calls: list[int] = []
+        t_click_calls: list[int] = []
+
+        def counting_t_hot(g, *args, **kwargs):
+            t_hot_calls.append(g.num_edges)
+            return pareto_hot_threshold(g, *args, **kwargs)
+
+        def counting_t_click(g, *args, **kwargs):
+            t_click_calls.append(g.num_edges)
+            return t_click_from_graph(g, *args, **kwargs)
+
+        monkeypatch.setattr(
+            framework_module, "pareto_hot_threshold", counting_t_hot
+        )
+        monkeypatch.setattr(
+            framework_module, "t_click_from_graph", counting_t_click
+        )
+        detector = RICDDetector(
+            params=RICDParams(k1=3, k2=3), max_group_users=None, shards=3
+        )
+        detect_sharded(detector, graph)
+        # One derivation each, and on the unpartitioned graph — a sharded
+        # implementation that re-resolved per shard would log one call per
+        # shard with shard-sized edge counts.
+        assert t_hot_calls == [graph.num_edges]
+        assert t_click_calls == [graph.num_edges]
