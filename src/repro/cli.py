@@ -111,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "partition the graph into up to N component-aligned shards and "
-            "detect per shard (identical output; 1 = unsharded, default)"
+            "detect per shard — the same pipeline run under its sharded "
+            "execution strategy (identical output; 1 = unsharded, default)"
         ),
     )
     detect_parser.add_argument(

@@ -15,24 +15,40 @@
 The detector is stateless between calls: thresholds left as ``None`` in
 the parameters are re-derived from each input graph exactly as Section IV
 prescribes (Pareto rule for ``T_hot``, Eq. 4 for ``T_click``).
+
+Since the pipeline refactor the detector no longer sequences the modules
+itself: :meth:`RICDDetector.detect` builds a
+:class:`~repro.pipeline.runner.DetectionPipeline` — shared stage objects
+plus an execution strategy (single-graph or sharded) — and runs it.  The
+sharded runner, the incremental recheck and the baselines' "+UI" wrapper
+compose the very same stages, so the framework's behaviour is defined in
+exactly one place: :mod:`repro.pipeline`.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from .. import obs
 from .._util import Stopwatch
 from ..config import FeedbackPolicy, RICDParams, ScreeningParams
-from ..errors import FeedbackExhaustedError
 from ..graph.bipartite import BipartiteGraph
-from ..graph.builders import seed_expansion
-from .extraction import extract_groups
+from ..pipeline import (
+    DetectionPipeline,
+    Extraction,
+    FeedbackDriver,
+    Identification,
+    PipelineContext,
+    ResolveThresholds,
+    Screening,
+    SeedExpansion,
+    ShardedExecution,
+    SingleGraphExecution,
+    SizeCaps,
+    run_stages,
+)
 from .groups import DetectionResult, SuspiciousGroup
-from .identification import adjust_parameters, assemble_result, output_size
-from .screening import screen_groups
 from .thresholds import pareto_hot_threshold, t_click_from_graph
 
 __all__ = ["RICDDetector", "RICDVariant", "VARIANT_FULL", "VARIANT_NO_ITEM", "VARIANT_NO_SCREEN"]
@@ -49,6 +65,16 @@ VARIANT_NO_SCREEN = "ricd-ui"
 RICDVariant = str  # alias for documentation purposes
 
 _VALID_VARIANTS = (VARIANT_FULL, VARIANT_NO_ITEM, VARIANT_NO_SCREEN)
+
+
+def _derive_t_hot(graph: BipartiteGraph) -> float:
+    """Pareto ``T_hot`` via this module's name, so tests can intercept it."""
+    return pareto_hot_threshold(graph)
+
+
+def _derive_t_click(graph: BipartiteGraph) -> float:
+    """Eq. 4 ``T_click`` via this module's name, so tests can intercept it."""
+    return t_click_from_graph(graph)
 
 
 @dataclass
@@ -126,17 +152,16 @@ class RICDDetector:
     shards: int = 1
     shard_jobs: int = 1
 
-    #: Memoized (graph, version) -> resolved params; detection output is
-    #: unaffected (thresholds are pure functions of the graph state), so the
-    #: detector stays semantically stateless.
-    _threshold_cache: tuple[
-        "weakref.ref[BipartiteGraph]", int, RICDParams, RICDParams
-    ] | None = field(default=None, init=False, repr=False, compare=False)
+    #: Lazily built memoized threshold resolver (one per detector, so the
+    #: (graph, version, params) memo survives across detect calls).
+    _threshold_stage: ResolveThresholds | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __getstate__(self) -> dict:
-        """Drop the weakref-bearing cache; workers re-derive on first use."""
+        """Drop the weakref-bearing resolver; workers re-derive on first use."""
         state = self.__dict__.copy()
-        state["_threshold_cache"] = None
+        state["_threshold_stage"] = None
         return state
 
     #: Detector name used by the evaluation harness and reports.
@@ -163,21 +188,66 @@ class RICDDetector:
         if self.shard_jobs < 1:
             raise ValueError(f"shard_jobs must be >= 1, got {self.shard_jobs}")
 
-    def _extract(self, graph: BipartiteGraph, params: RICDParams):
-        """Run the configured extraction engine."""
-        from .extraction_sparse import extract_groups_sparse, sparse_available
+    # ------------------------------------------------------------------
+    # Plan building: detector configuration -> pipeline stages
+    # ------------------------------------------------------------------
+    def _thresholds(self) -> ResolveThresholds:
+        """This detector's memoized threshold-resolution stage.
 
-        use_sparse = self.engine == "sparse" or (
-            self.engine == "auto"
-            and sparse_available()
-            and graph.num_edges > self.auto_engine_edge_threshold
+        The derive hooks route through this module's ``_derive_*``
+        wrappers, which read ``pareto_hot_threshold`` /
+        ``t_click_from_graph`` from the module namespace at call time —
+        the interception seam the threshold-globality tests patch.
+        """
+        if self._threshold_stage is None:
+            self._threshold_stage = ResolveThresholds(
+                derive_t_hot=_derive_t_hot, derive_t_click=_derive_t_click
+            )
+        return self._threshold_stage
+
+    def _module_stages(self) -> tuple:
+        """Modules 1 + 2 as stage objects, gated by the variant."""
+        return (
+            Extraction(
+                engine=self.engine,
+                auto_edge_threshold=self.auto_engine_edge_threshold,
+            ),
+            Screening(
+                enabled=self.variant != VARIANT_NO_SCREEN,
+                item_verification=self.variant == VARIANT_FULL,
+            ),
+            SizeCaps(
+                max_users=self.max_group_users,
+                max_items=self.max_group_items,
+                enabled=self.variant == VARIANT_FULL,
+            ),
         )
-        obs.gauge("detect.engine", "sparse" if use_sparse else "reference")
-        if use_sparse:
-            if not sparse_available():
-                raise RuntimeError("engine='sparse' requires scipy")
-            return extract_groups_sparse(graph, params)
-        return extract_groups(graph, params)
+
+    def build_pipeline(self, sharded: bool | None = None) -> DetectionPipeline:
+        """Assemble the detection plan this detector's ``detect`` runs.
+
+        ``sharded`` forces the execution strategy; ``None`` (the default)
+        follows ``self.shards``.  The sharded runner passes ``True`` so
+        ``detect_sharded`` exercises the partition + merge machinery even
+        with ``shards = 1`` (the metamorphic suite's base case).
+        """
+        use_sharded = self.shards > 1 if sharded is None else sharded
+        strategy = (
+            ShardedExecution(modules=self, shards=self.shards, jobs=self.shard_jobs)
+            if use_sharded
+            else SingleGraphExecution(modules=self)
+        )
+        return DetectionPipeline(
+            thresholds=self._thresholds(),
+            seed=SeedExpansion(hops=2),
+            strategy=strategy,
+            identify=Identification(),
+            feedback=(
+                FeedbackDriver(self.feedback, strict=self.strict_feedback)
+                if self.feedback is not None
+                else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     def resolve_thresholds(self, graph: BipartiteGraph) -> RICDParams:
@@ -187,26 +257,7 @@ class RICDDetector:
         feedback rounds and repeated ``detect`` calls on one graph (suites,
         sweeps, benchmarks) derive the marketplace statistics once.
         """
-        if self.params.t_hot is not None and self.params.t_click is not None:
-            return self.params
-        cached = self._threshold_cache
-        if (
-            cached is not None
-            and cached[0]() is graph
-            and cached[1] == graph.version
-            and cached[2] == self.params
-        ):
-            obs.count("detect.threshold_cache_hits")
-            return cached[3]
-        obs.count("detect.threshold_cache_misses")
-        changes: dict[str, float] = {}
-        if self.params.t_hot is None:
-            changes["t_hot"] = float(pareto_hot_threshold(graph))
-        if self.params.t_click is None:
-            changes["t_click"] = float(t_click_from_graph(graph))
-        resolved = self.params.replace(**changes)
-        self._threshold_cache = (weakref.ref(graph), graph.version, self.params, resolved)
-        return resolved
+        return self._thresholds().resolve(graph, self.params)
 
     def _run_modules(
         self,
@@ -215,35 +266,16 @@ class RICDDetector:
         screening: ScreeningParams,
         timer: Stopwatch,
     ) -> list[SuspiciousGroup]:
-        """Modules 1 + 2 with the given (possibly relaxed) parameters."""
-        with timer.measure("detection"), obs.span("extraction"):
-            groups = self._extract(graph, params)
-        with timer.measure("screening"), obs.span("screening"):
-            if self.variant == VARIANT_NO_SCREEN:
-                screened = groups
-            else:
-                screened = screen_groups(
-                    graph,
-                    groups,
-                    t_hot=params.t_hot,  # resolved by caller
-                    t_click=params.t_click,
-                    params=screening,
-                    do_item_verification=self.variant == VARIANT_FULL,
-                )
-            if self.variant == VARIANT_FULL:
-                screened = [
-                    group
-                    for group in screened
-                    if (
-                        self.max_group_users is None
-                        or len(group.users) <= self.max_group_users
-                    )
-                    and (
-                        self.max_group_items is None
-                        or len(group.items) <= self.max_group_items
-                    )
-                ]
-        return screened
+        """Modules 1 + 2 with the given (possibly relaxed) parameters.
+
+        The unit of work every execution strategy schedules — in-line, per
+        shard, or in a pool worker — and the seam the incremental layer's
+        dirty-region recheck reuses.  Subclass overrides therefore apply
+        in every execution mode.
+        """
+        ctx = PipelineContext(graph=graph, params=params, screening=screening, timer=timer)
+        run_stages(ctx, self._module_stages())
+        return ctx.groups
 
     def detect(
         self,
@@ -267,59 +299,10 @@ class RICDDetector:
         # Same obs namespace as the baselines' shared hook, so traces of a
         # mixed suite line up: detector.<name>.<stage>.
         with obs.span(f"detector.{self.name}"):
-            result = self._detect(graph, seed_users, seed_items)
+            result = self.build_pipeline().run(
+                graph, self.params, self.screening, tuple(seed_users), tuple(seed_items)
+            )
         obs.count(f"detector.{self.name}.groups", len(result.groups))
         obs.count(f"detector.{self.name}.users", len(result.suspicious_users))
         obs.count(f"detector.{self.name}.items", len(result.suspicious_items))
-        return result
-
-    def _detect(
-        self,
-        graph: BipartiteGraph,
-        seed_users: Sequence[Node],
-        seed_items: Sequence[Node],
-    ) -> DetectionResult:
-        """The framework body ``detect`` wraps with its observability span."""
-        if self.shards > 1:
-            from ..shard.runner import detect_sharded
-
-            return detect_sharded(self, graph, seed_users, seed_items)
-        timer = Stopwatch()
-        with obs.span("thresholds"):
-            params = self.resolve_thresholds(graph)
-
-        with timer.measure("detection"):
-            if seed_users or seed_items:
-                with obs.span("seed_expansion"):
-                    working = seed_expansion(graph, seed_users, seed_items, hops=2)
-            else:
-                working = graph
-
-        screened = self._run_modules(working, params, self.screening, timer)
-        rounds = 0
-
-        if self.feedback is not None:
-            screening = self.screening
-            best = screened
-            while (
-                output_size(screened) < self.feedback.expectation
-                and rounds < self.feedback.max_rounds
-            ):
-                params, screening = adjust_parameters(params, screening, self.feedback)
-                rounds += 1
-                screened = self._run_modules(working, params, screening, timer)
-                if output_size(screened) > output_size(best):
-                    best = screened
-            if output_size(screened) < self.feedback.expectation:
-                if self.strict_feedback:
-                    raise FeedbackExhaustedError(
-                        rounds, output_size(screened), self.feedback.expectation
-                    )
-                screened = best
-            obs.count("detect.feedback_rounds", rounds)
-
-        with timer.measure("identification"), obs.span("identification"):
-            result = assemble_result(graph, screened)
-        result.timings = dict(timer.durations)
-        result.feedback_rounds = rounds
         return result

@@ -30,12 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
+from .._util import Stopwatch
 from ..config import RICDParams, ScreeningParams
 from ..graph.bipartite import BipartiteGraph
 from ..graph.builders import seed_expansion
+from ..pipeline import Identification, PipelineContext
 from .framework import RICDDetector
 from .groups import DetectionResult, SuspiciousGroup
-from .identification import assemble_result
 
 __all__ = ["ClickBatch", "IncrementalRICD"]
 
@@ -178,15 +179,15 @@ class IncrementalRICD:
             max_traverse_degree=self._traverse_degree_cap,
         )
         # Thresholds are global: resolve against the full live graph, then
-        # run the (threshold-fixed) detector on the region only.
+        # run the detector's shared module stages on the region only —
+        # the same extraction/screening/size-caps chain every other
+        # execution path composes, so regional and batch rechecks cannot
+        # drift apart.
+        timer = Stopwatch()
         resolved = self._detector.resolve_thresholds(self._graph)
-        regional_detector = RICDDetector(
-            params=resolved,
-            screening=self._detector.screening,
-            max_group_users=self._detector.max_group_users,
-            max_group_items=self._detector.max_group_items,
+        regional = self._detector._run_modules(
+            region, resolved, self._detector.screening, timer
         )
-        regional = regional_detector.detect(region)
 
         kept: list[SuspiciousGroup] = [
             group
@@ -194,9 +195,18 @@ class IncrementalRICD:
             if not (group.users & self._dirty_users)
             and not (group.items & self._dirty_items)
         ]
-        merged = kept + [group.copy() for group in regional.groups]
-        self._result = assemble_result(self._graph, merged)
-        self._result.timings = dict(regional.timings)
+        ctx = PipelineContext(
+            graph=self._graph,
+            params=resolved,
+            screening=self._detector.screening,
+            timer=timer,
+            groups=kept + [group.copy() for group in regional],
+        )
+        # Identification ranks against the full live graph, like the
+        # batch pipeline's final stage.
+        Identification().run(ctx)
+        self._result = ctx.result
+        self._result.timings = dict(timer.durations)
         self._dirty_users.clear()
         self._dirty_items.clear()
         self._batches_since_recheck = 0

@@ -28,10 +28,12 @@ counters add) and keeps per-worker task counts under
 ``parallel.worker<N>.tasks``, with worker slots numbered by order of
 first result so traces are stable run to run.
 
-The same machinery also fans out *one* detection: the shard orchestrator
-(:mod:`repro.shard.runner`) submits one task per shard subgraph through
-:func:`run_shards_parallel`, with the detector and its globally resolved
-thresholds shipped once via the pool initializer.
+The same machinery also fans out *one* detection: the pipeline layer's
+sharded execution strategy
+(:class:`~repro.pipeline.execution.ShardedExecution`) submits one task
+per shard subgraph through :func:`run_shards_parallel`, with the
+detector and its globally resolved thresholds shipped once via the pool
+initializer.
 
 Entry points are not called directly: pass ``jobs=`` to
 :func:`repro.eval.harness.run_suite` or

@@ -1,0 +1,52 @@
+"""Composable detection pipeline: stages, feedback, execution strategies.
+
+This package is the single orchestration seam for the RICD framework.
+The four entry points that used to hand-assemble Fig. 4 — the
+single-graph detector, the sharded runner, the incremental recheck and
+the baselines' "+UI" wrapper — now compose the stage objects defined
+here and run them through one :class:`DetectionPipeline`.
+"""
+
+from .context import PipelineContext
+from .execution import (
+    ExecutionStrategy,
+    ModulesRunner,
+    ShardedExecution,
+    SingleGraphExecution,
+    group_sort_key,
+    merge_groups,
+)
+from .feedback import FeedbackDriver
+from .runner import DetectionPipeline
+from .stages import (
+    Extraction,
+    Identification,
+    ResolveThresholds,
+    Screening,
+    SeedExpansion,
+    SizeCaps,
+    Stage,
+    run_stages,
+    shared_thresholds,
+)
+
+__all__ = [
+    "PipelineContext",
+    "Stage",
+    "ResolveThresholds",
+    "SeedExpansion",
+    "Extraction",
+    "Screening",
+    "SizeCaps",
+    "Identification",
+    "run_stages",
+    "shared_thresholds",
+    "FeedbackDriver",
+    "ExecutionStrategy",
+    "ModulesRunner",
+    "SingleGraphExecution",
+    "ShardedExecution",
+    "group_sort_key",
+    "merge_groups",
+    "DetectionPipeline",
+]

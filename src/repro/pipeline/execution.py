@@ -1,0 +1,186 @@
+"""Pluggable execution strategies: how one round of modules 1 + 2 runs.
+
+The pipeline separates *what* a detection round computes (the extraction
+→ screening → size-caps stage chain, owned by the detector's
+``_run_modules``) from *where* it runs.  A strategy answers the second
+question:
+
+* :class:`SingleGraphExecution` — the classic path: one pass over the
+  working graph.
+* :class:`ShardedExecution` — partition the working graph into
+  component-aligned shards (:mod:`repro.shard.partition`), run the round
+  per shard — in-line or across the evaluation harness's process pool —
+  and fold the per-shard group lists through the canonical total-order
+  merge.  Output is identical to the single-graph path by the locality
+  argument in :mod:`repro.shard.runner`.
+
+The Fig. 7 feedback driver calls ``run_round`` again after each
+relaxation, so a sharded run re-runs *all* shards with the relaxed
+parameters — precisely what the unsharded loop does to the whole graph.
+Adding a new backend (async, remote, cached) means adding a strategy
+here, not editing every orchestration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+from .. import obs
+from .context import PipelineContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .._util import Stopwatch
+    from ..config import RICDParams, ScreeningParams
+    from ..core.groups import SuspiciousGroup
+    from ..graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "ModulesRunner",
+    "ExecutionStrategy",
+    "SingleGraphExecution",
+    "ShardedExecution",
+    "group_sort_key",
+    "merge_groups",
+]
+
+
+@runtime_checkable
+class ModulesRunner(Protocol):
+    """Anything that can run modules 1 + 2 over one graph.
+
+    :class:`~repro.core.framework.RICDDetector` satisfies this; the
+    process-pool shard workers invoke the same method on the pickled
+    detector, so subclass overrides apply in every execution mode.
+    """
+
+    def _run_modules(
+        self,
+        graph: "BipartiteGraph",
+        params: "RICDParams",
+        screening: "ScreeningParams",
+        timer: "Stopwatch",
+    ) -> "list[SuspiciousGroup]":
+        """Extraction + screening (+ size caps) under the given parameters."""
+        ...
+
+
+@runtime_checkable
+class ExecutionStrategy(Protocol):
+    """Where and how detection rounds execute."""
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        """One-time setup before round zero (e.g. partitioning)."""
+        ...
+
+    def run_round(self, ctx: PipelineContext) -> "list[SuspiciousGroup]":
+        """Modules 1 + 2 under the context's current parameters."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Canonical merge order (shared by every multi-subgraph execution)
+# ----------------------------------------------------------------------
+def group_sort_key(group: "SuspiciousGroup") -> tuple:
+    """Total order over groups: size-descending, then sorted member ids.
+
+    A *total* order (unlike the screening module's size/min-user key) is
+    what makes the merged list independent of shard count and arrival
+    order — two distinct groups can never compare equal.
+    """
+    return (
+        -group.size,
+        tuple(sorted(str(user) for user in group.users)),
+        tuple(sorted(str(item) for item in group.items)),
+        tuple(sorted(str(item) for item in group.hot_items)),
+    )
+
+
+def merge_groups(
+    per_shard: "Iterable[list[SuspiciousGroup]]",
+) -> "list[SuspiciousGroup]":
+    """Fold per-shard group lists into one canonically ordered list.
+
+    Groups from different shards live in disjoint components, so this is
+    a pure concatenation + deterministic sort — no deduplication or
+    conflict resolution is ever needed (and none is attempted: a
+    duplicate here would mean the partitioner cut a component, which the
+    tests treat as a hard bug, not something to paper over).
+    """
+    merged = [group for groups in per_shard for group in groups]
+    merged.sort(key=group_sort_key)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@dataclass
+class SingleGraphExecution:
+    """One pass over the working graph per round — the classic path."""
+
+    modules: ModulesRunner
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        """Nothing to set up: the working graph is the unit of execution."""
+
+    def run_round(self, ctx: PipelineContext) -> "list[SuspiciousGroup]":
+        return self.modules._run_modules(
+            ctx.working_graph(), ctx.params, ctx.screening, ctx.timer
+        )
+
+
+@dataclass
+class ShardedExecution:
+    """Per-shard rounds over a component-aligned partition, merged.
+
+    ``jobs > 1`` fans shards out over the evaluation harness's process
+    pool (each worker ships its trace back under ``shard.<i>``, merged
+    like the suite workers' traces); otherwise shards run in-line,
+    sharing the pipeline's stopwatch so per-phase timings accumulate
+    exactly as the single-graph path records them.
+
+    The partition is computed once in :meth:`prepare` (on the working
+    graph, *after* any seed expansion) and reused across feedback rounds:
+    relaxing ``t_click``/``alpha`` never changes which component a node
+    belongs to, so the plan stays valid for every round.
+    """
+
+    modules: ModulesRunner
+    shards: int = 1
+    jobs: int = 1
+    _shard_graphs: "list[BipartiteGraph]" = field(
+        default_factory=list, init=False, repr=False
+    )
+
+    def prepare(self, ctx: PipelineContext) -> None:
+        # Late import: repro.shard's package __init__ pulls in the runner,
+        # which imports this module — binding partition_graph at call time
+        # keeps the two packages importable in either order.
+        from ..shard.partition import partition_graph
+
+        with ctx.timer.measure("detection"):
+            working = ctx.working_graph()
+            with obs.span("partition"):
+                plan = partition_graph(working, self.shards)
+                self._shard_graphs = plan.subgraphs(working)
+            obs.gauge("shard.effective", len(plan))
+
+    def run_round(self, ctx: PipelineContext) -> "list[SuspiciousGroup]":
+        if self.jobs > 1 and len(self._shard_graphs) > 1:
+            from ..eval.parallel import run_shards_parallel
+
+            with ctx.timer.measure("detection"):
+                per_shard = run_shards_parallel(
+                    self.modules, self._shard_graphs, ctx.params, ctx.screening, self.jobs
+                )
+        else:
+            per_shard = []
+            for index, shard_graph in enumerate(self._shard_graphs):
+                with obs.span(f"shard.{index}"):
+                    per_shard.append(
+                        self.modules._run_modules(
+                            shard_graph, ctx.params, ctx.screening, ctx.timer
+                        )
+                    )
+        return merge_groups(per_shard)

@@ -1,0 +1,84 @@
+"""The Fig. 7 feedback parameter-adjustment loop, implemented once.
+
+Before the pipeline layer existed this loop was written out twice — in
+``RICDDetector._detect`` and again in ``shard.runner.detect_sharded`` —
+and the two copies had already started to drift (the sharded copy
+re-counted its rounds separately).  :class:`FeedbackDriver` is now the
+only implementation: it relaxes the context's parameter pair with
+:func:`repro.core.identification.adjust_parameters` and re-invokes
+whatever round-runner the active execution strategy provides, so the
+single-graph and sharded paths loop identically by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..core.identification import adjust_parameters, output_size
+from ..errors import FeedbackExhaustedError
+from .context import PipelineContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import FeedbackPolicy
+    from ..core.groups import SuspiciousGroup
+
+__all__ = ["FeedbackDriver"]
+
+#: A round-runner: modules 1 + 2 under the context's *current* parameters.
+RoundRunner = Callable[[PipelineContext], "list[SuspiciousGroup]"]
+
+
+@dataclass(frozen=True)
+class FeedbackDriver:
+    """Drives the relaxation loop until the output meets the expectation.
+
+    Parameters
+    ----------
+    policy:
+        The Fig. 7 policy (expectation, max rounds, relaxation steps).
+    strict:
+        When the loop exhausts its rounds below the expectation: raise
+        :class:`~repro.errors.FeedbackExhaustedError` if ``True``,
+        otherwise return the best (largest) output seen across rounds.
+    """
+
+    policy: "FeedbackPolicy"
+    strict: bool = False
+
+    def drive(
+        self,
+        ctx: PipelineContext,
+        screened: "list[SuspiciousGroup]",
+        run_round: RoundRunner,
+    ) -> "list[SuspiciousGroup]":
+        """Relax ``ctx``'s parameters and re-run until the output suffices.
+
+        ``screened`` is round zero's output (already computed by the
+        caller).  Each relaxation round rewrites ``ctx.params`` /
+        ``ctx.screening`` — the execution strategy reads them from the
+        context, so every shard of a sharded run sees the same relaxed
+        values, exactly as the unsharded loop re-runs the whole graph.
+        Records the round count on ``ctx.feedback_rounds``.
+        """
+        policy = self.policy
+        rounds = 0
+        best = screened
+        while (
+            output_size(screened) < policy.expectation and rounds < policy.max_rounds
+        ):
+            ctx.params, ctx.screening = adjust_parameters(
+                ctx.params, ctx.screening, policy
+            )
+            rounds += 1
+            screened = run_round(ctx)
+            if output_size(screened) > output_size(best):
+                best = screened
+        if output_size(screened) < policy.expectation:
+            if self.strict:
+                raise FeedbackExhaustedError(
+                    rounds, output_size(screened), policy.expectation
+                )
+            screened = best
+        ctx.feedback_rounds = rounds
+        return screened

@@ -1,0 +1,88 @@
+"""The detection pipeline runner: one orchestration for every path.
+
+:class:`DetectionPipeline` wires the stage instances together in the
+Fig. 4 order — threshold resolution, seed expansion, an execution
+strategy driving modules 1 + 2 (optionally re-driven by the Fig. 7
+feedback loop), then identification — and produces a fully populated
+:class:`~repro.core.groups.DetectionResult`.  The detector's ``detect``
+builds a plan (stages + strategy) and hands it here; the sharded runner
+builds the same plan with :class:`ShardedExecution` swapped in.  Neither
+re-implements sequencing, timing, or the feedback loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .. import obs
+from .._util import Stopwatch
+from .context import PipelineContext
+from .execution import ExecutionStrategy
+from .feedback import FeedbackDriver
+from .stages import Identification, ResolveThresholds, SeedExpansion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import RICDParams, ScreeningParams
+    from ..core.groups import DetectionResult
+    from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["DetectionPipeline"]
+
+
+@dataclass
+class DetectionPipeline:
+    """A fully assembled detection plan, ready to run against a graph.
+
+    Parameters
+    ----------
+    thresholds, seed, identify:
+        The shared head and tail stages.  ``thresholds`` is typically the
+        owning detector's memoized resolver so repeated runs reuse the
+        derived marketplace statistics.
+    strategy:
+        Where rounds execute: :class:`SingleGraphExecution` or
+        :class:`ShardedExecution`.
+    feedback:
+        The Fig. 7 driver, or ``None`` when the detector runs without a
+        feedback policy.  Either way ``detect.feedback_rounds`` is
+        emitted (0 without a loop), so traces from feedback-enabled and
+        feedback-disabled runs line up.
+    """
+
+    thresholds: ResolveThresholds
+    seed: SeedExpansion
+    strategy: ExecutionStrategy
+    identify: Identification
+    feedback: "FeedbackDriver | None" = None
+
+    def run(
+        self,
+        graph: "BipartiteGraph",
+        params: "RICDParams",
+        screening: "ScreeningParams",
+        seed_users: "tuple" = (),
+        seed_items: "tuple" = (),
+    ) -> "DetectionResult":
+        """Execute the plan and return the assembled result."""
+        ctx = PipelineContext(
+            graph=graph,
+            params=params,
+            screening=screening,
+            timer=Stopwatch(),
+            seed_users=tuple(seed_users),
+            seed_items=tuple(seed_items),
+        )
+        self.thresholds.run(ctx)
+        self.seed.run(ctx)
+        self.strategy.prepare(ctx)
+        screened = self.strategy.run_round(ctx)
+        if self.feedback is not None:
+            screened = self.feedback.drive(ctx, screened, self.strategy.run_round)
+        obs.count("detect.feedback_rounds", ctx.feedback_rounds)
+        ctx.groups = screened
+        self.identify.run(ctx)
+        result = ctx.result
+        result.timings = dict(ctx.timer.durations)
+        result.feedback_rounds = ctx.feedback_rounds
+        return result

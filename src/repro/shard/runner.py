@@ -44,151 +44,55 @@ Identification (risk scoring) also stays global, computed on the full
 graph — equivalent by the same locality argument (a user's neighbours
 all live in their own component), but keeping it in the parent makes the
 equivalence true by construction rather than by proof.
+
+Since the pipeline refactor this module no longer *implements* that
+orchestration: the sequencing, the feedback loop and the per-shard
+fan-out live in :mod:`repro.pipeline` (see
+:class:`~repro.pipeline.execution.ShardedExecution`), the one place the
+single-graph path uses too.  :func:`detect_sharded` just builds the
+detector's plan with the sharded strategy forced on; the canonical merge
+order is re-exported here for compatibility (the metamorphic suite and
+external callers import it from this module).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
-from .. import obs
-from .._util import Stopwatch
-from ..core.groups import DetectionResult, SuspiciousGroup
-from ..core.identification import adjust_parameters, assemble_result, output_size
-from ..errors import FeedbackExhaustedError
-from ..graph.bipartite import BipartiteGraph
-from ..graph.builders import seed_expansion
-from .partition import partition_graph
+from ..pipeline.execution import group_sort_key, merge_groups
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..config import RICDParams, ScreeningParams
     from ..core.framework import RICDDetector
+    from ..core.groups import DetectionResult
+    from ..graph.bipartite import BipartiteGraph
 
 __all__ = ["detect_sharded", "merge_groups", "group_sort_key"]
 
 Node = Hashable
 
 
-def group_sort_key(group: SuspiciousGroup) -> tuple:
-    """Total order over groups: size-descending, then sorted member ids.
-
-    A *total* order (unlike the screening module's size/min-user key) is
-    what makes the merged list independent of shard count and arrival
-    order — two distinct groups can never compare equal.
-    """
-    return (
-        -group.size,
-        tuple(sorted(str(user) for user in group.users)),
-        tuple(sorted(str(item) for item in group.items)),
-        tuple(sorted(str(item) for item in group.hot_items)),
-    )
-
-
-def merge_groups(per_shard: Iterable[list[SuspiciousGroup]]) -> list[SuspiciousGroup]:
-    """Fold per-shard group lists into one canonically ordered list.
-
-    Groups from different shards live in disjoint components, so this is
-    a pure concatenation + deterministic sort — no deduplication or
-    conflict resolution is ever needed (and none is attempted: a
-    duplicate here would mean the partitioner cut a component, which the
-    tests treat as a hard bug, not something to paper over).
-    """
-    merged = [group for groups in per_shard for group in groups]
-    merged.sort(key=group_sort_key)
-    return merged
-
-
-def _run_shards(
-    detector: "RICDDetector",
-    shard_graphs: list[BipartiteGraph],
-    params: "RICDParams",
-    screening: "ScreeningParams",
-    timer: Stopwatch,
-) -> list[SuspiciousGroup]:
-    """One round of modules 1 + 2 over every shard, merged.
-
-    ``shard_jobs > 1`` fans shards out over the evaluation harness's
-    process pool (each worker ships its trace back under ``shard.<i>``,
-    merged like the suite workers' traces); otherwise shards run in-line,
-    sharing the caller's stopwatch so per-phase timings accumulate
-    exactly as the unsharded path records them.
-    """
-    if detector.shard_jobs > 1 and len(shard_graphs) > 1:
-        from ..eval.parallel import run_shards_parallel
-
-        with timer.measure("detection"):
-            per_shard = run_shards_parallel(
-                detector, shard_graphs, params, screening, detector.shard_jobs
-            )
-    else:
-        per_shard = []
-        for index, shard_graph in enumerate(shard_graphs):
-            with obs.span(f"shard.{index}"):
-                per_shard.append(
-                    detector._run_modules(shard_graph, params, screening, timer)
-                )
-    return merge_groups(per_shard)
-
-
 def detect_sharded(
     detector: "RICDDetector",
-    graph: BipartiteGraph,
+    graph: "BipartiteGraph",
     seed_users: Sequence[Node] = (),
     seed_items: Sequence[Node] = (),
-) -> DetectionResult:
+) -> "DetectionResult":
     """Run ``detector``'s full pipeline sharded over ``detector.shards``.
 
-    Mirrors :meth:`RICDDetector._detect` step for step — global threshold
-    resolution, optional seed expansion, modules 1 + 2 (per shard), the
-    Fig. 7 feedback loop (orchestrator-level, all shards per round), and
-    full-graph identification — so the output is identical to the
-    unsharded path by the locality argument in the module docstring.
-    ``detector.shards = 1`` is valid and exercises the partition + merge
-    machinery on a single shard (the metamorphic suite's base case).
+    Builds the same :class:`~repro.pipeline.runner.DetectionPipeline` as
+    :meth:`RICDDetector.detect` with the sharded execution strategy
+    forced on — global threshold resolution, optional seed expansion,
+    modules 1 + 2 per shard, the Fig. 7 feedback loop (orchestrator
+    level, all shards per round), and full-graph identification — so the
+    output is identical to the unsharded path by the locality argument in
+    the module docstring.  ``detector.shards = 1`` is valid and exercises
+    the partition + merge machinery on a single shard (the metamorphic
+    suite's base case).
     """
-    timer = Stopwatch()
-    with obs.span("thresholds"):
-        # Resolved on the UNPARTITIONED graph: T_hot / T_click are global
-        # marketplace statistics (Section IV) and must not drift per shard.
-        params = detector.resolve_thresholds(graph)
-
-    with timer.measure("detection"):
-        if seed_users or seed_items:
-            with obs.span("seed_expansion"):
-                working = seed_expansion(graph, seed_users, seed_items, hops=2)
-        else:
-            working = graph
-        with obs.span("partition"):
-            plan = partition_graph(working, detector.shards)
-            shard_graphs = plan.subgraphs(working)
-        obs.gauge("shard.effective", len(plan))
-
-    screened = _run_shards(detector, shard_graphs, params, detector.screening, timer)
-    rounds = 0
-
-    if detector.feedback is not None:
-        screening = detector.screening
-        best = screened
-        while (
-            output_size(screened) < detector.feedback.expectation
-            and rounds < detector.feedback.max_rounds
-        ):
-            params, screening = adjust_parameters(
-                params, screening, detector.feedback
-            )
-            rounds += 1
-            screened = _run_shards(detector, shard_graphs, params, screening, timer)
-            if output_size(screened) > output_size(best):
-                best = screened
-        if output_size(screened) < detector.feedback.expectation:
-            if detector.strict_feedback:
-                raise FeedbackExhaustedError(
-                    rounds, output_size(screened), detector.feedback.expectation
-                )
-            screened = best
-        obs.count("detect.feedback_rounds", rounds)
-
-    with timer.measure("identification"), obs.span("identification"):
-        result = assemble_result(graph, screened)
-    result.timings = dict(timer.durations)
-    result.feedback_rounds = rounds
-    return result
+    return detector.build_pipeline(sharded=True).run(
+        graph,
+        detector.params,
+        detector.screening,
+        tuple(seed_users),
+        tuple(seed_items),
+    )

@@ -1,0 +1,82 @@
+"""Plan-level tests: the assembled pipeline and its execution strategies."""
+
+from repro import obs
+from repro.config import FeedbackPolicy, RICDParams
+from repro.core.framework import RICDDetector
+
+from ..shard.canon import canonical_result
+
+
+def detector(**overrides):
+    defaults = dict(params=RICDParams(k1=5, k2=5))
+    defaults.update(overrides)
+    return RICDDetector(**defaults)
+
+
+class TestExecutionStrategyEquivalence:
+    def test_single_vs_sharded_strategy_identical(self, small):
+        single = detector().build_pipeline(sharded=False)
+        sharded = detector(shards=3).build_pipeline(sharded=True)
+        base = detector()
+        left = single.run(small.graph, base.params, base.screening)
+        right = sharded.run(small.graph, base.params, base.screening)
+        assert canonical_result(left) == canonical_result(right)
+
+    def test_detect_is_the_built_pipeline(self, small):
+        d = detector()
+        via_detect = d.detect(small.graph)
+        via_plan = d.build_pipeline().run(small.graph, d.params, d.screening)
+        assert canonical_result(via_detect) == canonical_result(via_plan)
+
+    def test_sharded_detector_detect_uses_sharded_plan(self, small):
+        with obs.recording(obs.Recorder()) as recorder:
+            detector(shards=3).detect(small.graph)
+        assert recorder.gauges["shard.effective"] >= 1
+        assert any(".shard." in name for name in recorder.spans)
+        assert any(".partition" in name for name in recorder.spans)
+
+
+class TestFeedbackRoundsCounter:
+    """``detect.feedback_rounds`` is emitted unconditionally (satellite)."""
+
+    def test_zero_counter_without_feedback_policy(self, small):
+        with obs.recording(obs.Recorder()) as recorder:
+            result = detector(feedback=None).detect(small.graph)
+        assert result.feedback_rounds == 0
+        assert recorder.counters["detect.feedback_rounds"] == 0
+
+    def test_zero_counter_without_feedback_sharded(self, small):
+        with obs.recording(obs.Recorder()) as recorder:
+            detector(feedback=None, shards=2).detect(small.graph)
+        assert recorder.counters["detect.feedback_rounds"] == 0
+
+    def test_counter_matches_rounds_with_feedback(self, small):
+        params = RICDParams(k1=5, k2=5, t_click=40.0)
+        policy = FeedbackPolicy(
+            expectation=5, max_rounds=8, t_click_step=6.0, alpha_step=0.0
+        )
+        with obs.recording(obs.Recorder()) as recorder:
+            result = detector(params=params, feedback=policy).detect(small.graph)
+        assert result.feedback_rounds >= 1
+        assert recorder.counters["detect.feedback_rounds"] == result.feedback_rounds
+
+
+class TestTraceShape:
+    def test_span_names_unchanged_by_the_refactor(self, small):
+        """The pre-pipeline trace contract: same span names, same nesting."""
+        with obs.recording(obs.Recorder()) as recorder:
+            detector().detect(small.graph)
+        report = recorder.report().to_dict()
+        spans = set(report["spans"])
+        for expected in (
+            "detector.RICD",
+            "detector.RICD.thresholds",
+            "detector.RICD.extraction",
+            "detector.RICD.screening",
+            "detector.RICD.identification",
+        ):
+            assert expected in spans, f"missing span {expected}"
+
+    def test_timings_keys_unchanged(self, small):
+        result = detector().detect(small.graph)
+        assert set(result.timings) == {"detection", "screening", "identification"}
