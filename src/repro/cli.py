@@ -125,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     detect_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "bounded retries (with backoff) for transient per-shard/worker "
+            "failures before the serial fallback; 0 disables (default)"
+        ),
+    )
+    detect_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "soft wall-clock budget: on expiry stragglers are abandoned and "
+            "the run completes serially, marked degraded (default: none)"
+        ),
+    )
+    detect_parser.add_argument(
         "--top", type=int, default=20, help="rows shown per risk ranking"
     )
     detect_parser.add_argument(
@@ -203,8 +222,10 @@ def _run_detect(args: argparse.Namespace) -> int:
             auto_engine_edge_threshold=args.auto_engine_threshold,
             shards=args.shards,
             shard_jobs=args.jobs,
+            retries=args.retries,
+            deadline=args.deadline,
         )
-    except ValueError as error:  # shards/jobs < 1
+    except ValueError as error:  # shards/jobs/retries/deadline out of range
         print(f"error: {error}", file=sys.stderr)
         return 2
     with _trace_scope(args) as recorder:
@@ -233,6 +254,8 @@ def _run_detect(args: argparse.Namespace) -> int:
         f"in {result.elapsed:.2f}s"
         + (f" ({result.feedback_rounds} feedback rounds)" if result.feedback_rounds else "")
     )
+    if result.degraded:
+        print(f"degraded run (fallbacks: {', '.join(result.degradations)})")
     if result.suspicious_users:
         print(f"\ntop-{args.top} users by risk score:")
         for user, score in result.top_users(args.top):

@@ -48,6 +48,7 @@ from ..pipeline import (
     SizeCaps,
     run_stages,
 )
+from ..resilience import RetryPolicy
 from .groups import DetectionResult, SuspiciousGroup
 from .thresholds import pareto_hot_threshold, t_click_from_graph
 
@@ -128,6 +129,18 @@ class RICDDetector:
         Worker processes for the per-shard fan-out when ``shards > 1``;
         ``1`` runs shards in-line.  Like ``jobs`` elsewhere, wall-clock
         wins need real cores.
+    retries:
+        Bounded retries for transient per-shard / per-worker failures
+        (``0`` disables, reproducing the pre-resilience behaviour where
+        a broken pool fell straight through to the serial path).  Each
+        retry backs off exponentially with deterministic jitter; see
+        :class:`repro.resilience.RetryPolicy`.
+    deadline:
+        Soft wall-clock budget in seconds for one ``detect`` call, or
+        ``None`` for unbounded.  Expiry never aborts the run: stragglers
+        are abandoned, remaining work completes serially, the feedback
+        loop stops relaxing, and the result carries explicit
+        ``degraded`` provenance.
 
     Examples
     --------
@@ -151,6 +164,8 @@ class RICDDetector:
     auto_engine_edge_threshold: int = 20_000
     shards: int = 1
     shard_jobs: int = 1
+    retries: int = 0
+    deadline: float | None = None
 
     #: Lazily built memoized threshold resolver (one per detector, so the
     #: (graph, version, params) memo survives across detect calls).
@@ -187,6 +202,10 @@ class RICDDetector:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.shard_jobs < 1:
             raise ValueError(f"shard_jobs must be >= 1, got {self.shard_jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
 
     # ------------------------------------------------------------------
     # Plan building: detector configuration -> pipeline stages
@@ -232,8 +251,11 @@ class RICDDetector:
         with ``shards = 1`` (the metamorphic suite's base case).
         """
         use_sharded = self.shards > 1 if sharded is None else sharded
+        retry = RetryPolicy(max_retries=self.retries) if self.retries > 0 else None
         strategy = (
-            ShardedExecution(modules=self, shards=self.shards, jobs=self.shard_jobs)
+            ShardedExecution(
+                modules=self, shards=self.shards, jobs=self.shard_jobs, retry=retry
+            )
             if use_sharded
             else SingleGraphExecution(modules=self)
         )
@@ -247,6 +269,7 @@ class RICDDetector:
                 if self.feedback is not None
                 else None
             ),
+            deadline_seconds=self.deadline,
         )
 
     # ------------------------------------------------------------------

@@ -81,6 +81,20 @@ class DetectionResult:
     feedback_rounds:
         Number of parameter-relaxation rounds the Fig. 7 loop performed
         (0 when the first run met the expectation or no loop was used).
+    degraded:
+        ``True`` when the run absorbed a graceful-degradation event (a
+        shard fell back to the full-graph pass, a deadline truncated the
+        feedback loop).  The *detection output* of a shard fallback is
+        identical to the fault-free run by the locality argument in
+        :mod:`repro.shard.runner`; wall-clocks of degraded runs are not
+        benchmark-comparable.
+    degradations:
+        Per-event provenance, e.g. ``("shard.2", "shard.3")`` — exactly
+        which units fell back.
+    stale:
+        Set by :class:`~repro.core.incremental.IncrementalRICD` when a
+        recheck failed and this (previous, still valid) result was kept;
+        the dirty region is retained and re-covered by the next recheck.
     """
 
     suspicious_users: set[Node] = field(default_factory=set)
@@ -90,6 +104,9 @@ class DetectionResult:
     item_scores: dict[Node, float] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     feedback_rounds: int = 0
+    degraded: bool = False
+    degradations: tuple[str, ...] = ()
+    stale: bool = False
 
     @property
     def suspicious_nodes(self) -> set[Node]:

@@ -30,11 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
+from .. import obs
 from .._util import Stopwatch
 from ..config import RICDParams, ScreeningParams
+from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.builders import seed_expansion
 from ..pipeline import Identification, PipelineContext
+from ..resilience.faults import inject
 from .framework import RICDDetector
 from .groups import DetectionResult, SuspiciousGroup
 
@@ -88,14 +91,17 @@ class IncrementalRICD:
         BFS does not traverse *through* nodes above the cap (hub items
         would otherwise drag their whole clicker set into every recheck;
         attack cores survive because co-workers always share low-degree
-        target items).  ``None`` derives 10x the mean item degree from the
-        initial graph; pass a huge value to disable the cap."""
+        target items).  ``None`` re-derives 10x the mean item degree from
+        the *live* graph at every recheck — a long-lived stream can grow
+        an order of magnitude past its bootstrap, and a cap frozen at
+        ``t=0`` would silently shrink the dirty region relative to the
+        marketplace.  An explicit cap stays fixed forever; pass a huge
+        value to disable the cap."""
         if recheck_batches < 1:
             raise ValueError(f"recheck_batches must be >= 1, got {recheck_batches}")
+        self._explicit_traverse_cap = traverse_degree_cap is not None
         if traverse_degree_cap is None:
-            n_items = max(1, initial_graph.num_items)
-            mean_degree = initial_graph.num_edges / n_items
-            traverse_degree_cap = max(50, int(10 * mean_degree))
+            traverse_degree_cap = self._derive_traverse_cap(initial_graph)
         self._traverse_degree_cap = traverse_degree_cap
         self._graph = initial_graph.copy()
         self._detector = RICDDetector(
@@ -111,10 +117,22 @@ class IncrementalRICD:
         # from the start.
         self._result = self._detector.detect(self._graph)
 
+    @staticmethod
+    def _derive_traverse_cap(graph: BipartiteGraph) -> int:
+        """10x the mean item degree of ``graph``, floored at 50."""
+        n_items = max(1, graph.num_items)
+        mean_degree = graph.num_edges / n_items
+        return max(50, int(10 * mean_degree))
+
     @property
     def graph(self) -> BipartiteGraph:
         """The live graph (treat as read-only)."""
         return self._graph
+
+    @property
+    def traverse_degree_cap(self) -> int:
+        """The dirty-region BFS cap currently in force."""
+        return self._traverse_degree_cap
 
     @property
     def current_result(self) -> DetectionResult:
@@ -155,7 +173,16 @@ class IncrementalRICD:
         for user, item, clicks in edges:
             current = self._graph.get_click(user, item)
             if current:
-                self._graph.set_click(user, item, max(0, current - clicks))
+                remaining = current - clicks
+                if remaining > 0:
+                    self._graph.set_click(user, item, remaining)
+                else:
+                    # A fully cleaned edge must *leave* the adjacency, not
+                    # linger at weight zero: zombie edges inflate Avg_cnt
+                    # (Eq. 4's denominator) and item degrees, skewing the
+                    # re-derived thresholds away from a freshly built
+                    # graph's.  The parity test pins this.
+                    self._graph.remove_edge(user, item)
             self._dirty_users.add(user)
             self._dirty_items.add(item)
         return self.recheck()
@@ -166,11 +193,41 @@ class IncrementalRICD:
         Groups from the previous state whose members are all clean are
         kept verbatim; groups intersecting the dirty region are replaced
         by whatever the fresh regional pass finds.
+
+        Resilience: a recheck that dies with a framework error keeps the
+        *previous* result — marked ``stale`` so callers know it predates
+        the dirty batches — and retains the dirty sets, so the next
+        recheck (or the next due batch) re-covers the same region.  A
+        stream never loses its detection state to one failed pass.
         """
         if not self._dirty_users and not self._dirty_items:
             self._batches_since_recheck = 0
             return self._result
 
+        try:
+            inject("recheck")
+            result = self._recheck_dirty_region()
+        except ReproError:
+            obs.count("resilience.stale_rechecks")
+            self._result.stale = True
+            # Dirty sets are retained: the failed pass covered nothing.
+            self._batches_since_recheck = 0
+            return self._result
+        self._result = result
+        self._result.stale = False
+        self._dirty_users.clear()
+        self._dirty_items.clear()
+        self._batches_since_recheck = 0
+        return self._result
+
+    def _recheck_dirty_region(self) -> DetectionResult:
+        """The recheck body: regional pass + merge, no state mutation."""
+        if not self._explicit_traverse_cap:
+            # The marketplace grows under the stream; a derived cap must
+            # track the live mean degree or the dirty region quietly
+            # shrinks relative to it.  Explicit caps are user policy and
+            # stay fixed.
+            self._traverse_degree_cap = self._derive_traverse_cap(self._graph)
         region = seed_expansion(
             self._graph,
             seed_users=sorted(self._dirty_users, key=str),
@@ -205,10 +262,7 @@ class IncrementalRICD:
         # Identification ranks against the full live graph, like the
         # batch pipeline's final stage.
         Identification().run(ctx)
-        self._result = ctx.result
-        self._result.timings = dict(timer.durations)
-        self._dirty_users.clear()
-        self._dirty_items.clear()
-        self._batches_since_recheck = 0
-        return self._result
+        result = ctx.result
+        result.timings = dict(timer.durations)
+        return result
 

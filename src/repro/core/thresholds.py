@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+from ..errors import DegenerateGraphError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.indexed import snapshot_or_none
 from ..graph.stats import side_stats
@@ -92,9 +93,19 @@ def t_click_threshold(
 
     >>> t_click_threshold(11.35, 4.32)
     11
+
+    Degenerate inputs — non-positive marketplace averages (an empty or
+    clickless graph) or ``heavy_share == 1.0`` (Eq. 4's denominator
+    vanishes) — raise :class:`~repro.errors.DegenerateGraphError`, a
+    ``ValueError`` subclass the pipeline's threshold-resolution stage
+    absorbs by falling back to the floor thresholds.
     """
     if avg_clk <= 0 or avg_cnt <= 0:
-        raise ValueError("avg_clk and avg_cnt must be positive")
+        raise DegenerateGraphError("avg_clk and avg_cnt must be positive")
+    if heavy_share == 1.0:
+        raise DegenerateGraphError(
+            "heavy_share == 1.0 makes Eq. 4's denominator vanish"
+        )
     if not 0.0 < heavy_share < 1.0:
         raise ValueError(f"heavy_share must lie in (0, 1), got {heavy_share}")
     value = (avg_clk * heavy_share) / (avg_cnt * (1.0 - heavy_share))

@@ -21,6 +21,11 @@ __all__ = [
     "DetectionError",
     "ScreeningError",
     "FeedbackExhaustedError",
+    "TransientWorkerError",
+    "FatalDetectionError",
+    "InjectedFaultError",
+    "DeadlineExceededError",
+    "DegenerateGraphError",
     "ExperimentError",
 ]
 
@@ -125,6 +130,76 @@ class FeedbackExhaustedError(DetectionError):
             f"feedback loop exhausted after {rounds} rounds: "
             f"output size {last_size} < expectation {expectation}"
         )
+
+
+class TransientWorkerError(DetectionError):
+    """A failure that is safe to retry: the task itself is deterministic
+    and the fault came from the execution substrate (a crashed or lost
+    pool worker, an injected fault, a transient environment hiccup).
+
+    The resilience layer retries these per its
+    :class:`~repro.resilience.RetryPolicy` and falls back to a serial
+    in-parent re-run when retries are exhausted.
+    """
+
+
+class FatalDetectionError(DetectionError):
+    """A failure no retry can fix (malformed input, impossible state).
+
+    The resilience layer never retries these; they propagate to the
+    caller immediately, even mid-fan-out.
+    """
+
+
+class InjectedFaultError(TransientWorkerError):
+    """A fault raised by the :class:`~repro.resilience.FaultInjector`.
+
+    Attributes
+    ----------
+    site:
+        The instrumentation site that fired (``"worker"``,
+        ``"extraction"``, ``"shard_merge"``, ...).
+    kind:
+        The fault flavour: ``"error"`` for a plain injected exception, or
+        ``"crash"`` when a crash was requested in a process that must not
+        be killed (the orchestrating parent).
+    """
+
+    def __init__(self, site: str, kind: str = "error"):
+        self.site = site
+        self.kind = kind
+        super().__init__(f"injected {kind} fault at site {site!r}")
+
+
+class DeadlineExceededError(DetectionError):
+    """A detection deadline budget ran out.
+
+    Attributes
+    ----------
+    budget:
+        The configured budget in seconds.
+    elapsed:
+        Seconds actually spent when the deadline tripped.
+    """
+
+    def __init__(self, budget: float, elapsed: float):
+        self.budget = budget
+        self.elapsed = elapsed
+        super().__init__(
+            f"deadline of {budget:.3f}s exceeded after {elapsed:.3f}s"
+        )
+
+
+class DegenerateGraphError(DetectionError, ValueError):
+    """Threshold derivation hit a degenerate input.
+
+    Raised instead of a bare :class:`ZeroDivisionError` when Eq. 4's
+    denominator collapses (``heavy_share == 1.0``) or the statistics are
+    non-positive.  Subclasses :class:`ValueError` so existing callers
+    catching the old error class keep working; the pipeline's
+    ``ResolveThresholds`` stage catches it and falls back to the safe
+    floor thresholds.
+    """
 
 
 class ExperimentError(ReproError):

@@ -15,11 +15,16 @@ with three invariants:
   ``tests/eval/test_parallel.py`` and the differential suite);
 * **no lost runs** — a worker that dies mid-task (OOM kill, hard crash)
   breaks the whole pool, which used to surface as a bare
-  :class:`~concurrent.futures.process.BrokenProcessPool`.  Now every task
-  whose future the broken pool swallowed is re-run serially in the
-  parent; recovered runs are marked ``degraded=True`` (their wall-clock
-  is not pool-comparable) and the degradation is counted on the active
-  :mod:`repro.obs` recorder.
+  :class:`~concurrent.futures.process.BrokenProcessPool`.  Lost tasks
+  are now retried on a *fresh* pool per the caller's
+  :class:`~repro.resilience.RetryPolicy` (bounded attempts, exponential
+  backoff with deterministic jitter); tasks still failing after the
+  retry budget — and every task once a
+  :class:`~repro.resilience.Deadline` expires — are re-run serially in
+  the parent.  Recovered runs are marked ``degraded=True`` (their
+  wall-clock is not pool-comparable) and every retry, deadline hit and
+  fallback is counted on the active :mod:`repro.obs` recorder under
+  ``resilience.*``.
 
 Observability: when the caller has a recorder active (``--trace``), each
 worker records into its own :class:`~repro.obs.Recorder` and ships the
@@ -50,10 +55,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from .. import obs
+from ..errors import TransientWorkerError
+from ..resilience import Deadline, RetryPolicy
+from ..resilience.faults import inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines import Detector
@@ -66,23 +76,75 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .harness import DetectorRun
     from .sweeps import SweepPoint
 
-__all__ = ["run_suite_parallel", "sensitivity_sweep_parallel", "run_shards_parallel"]
+__all__ = [
+    "run_suite_parallel",
+    "sensitivity_sweep_parallel",
+    "run_shards_parallel",
+    "TaskFailure",
+]
 
 #: Per-worker shared state, installed once by the pool initializer.
 _WORKER_STATE: dict = {}
 
+#: Environment override for the pool start method (``fork`` / ``spawn``);
+#: used by the CI spawn-context job and the spawn determinism tests.
+MP_CONTEXT_ENV = "RICD_MP_CONTEXT"
+
+
+@dataclass
+class TaskFailure:
+    """Sentinel result for a task that failed even its serial fallback.
+
+    Only produced when the caller opts in with ``capture_failures=True``
+    (the sharded execution strategy, which degrades to a full-graph pass
+    on shard failure); every other caller sees the exception propagate.
+    """
+
+    index: int
+    error: Exception
+
+
+def _context_name() -> str:
+    """The pool start method: forced by env, else fork where available."""
+    forced = os.environ.get(MP_CONTEXT_ENV)
+    if forced:
+        return forced
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"  # pragma: no cover - non-POSIX platforms
+
+
+def _init_worker(hash_seed: str | None, initializer, initargs) -> None:
+    """Pool initializer shim: records the pinned hash seed, then delegates."""
+    _WORKER_STATE["hash_seed"] = hash_seed
+    initializer(*initargs)
+
 
 def _pool(jobs: int, initializer, initargs) -> ProcessPoolExecutor:
-    """A process pool that prefers ``fork`` (inherits the hash seed)."""
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
+    """A process pool that prefers ``fork``, falling back to ``spawn``.
+
+    Forked workers inherit the parent's str-hash seed with the rest of
+    the process image.  Spawned workers start a fresh interpreter that
+    re-randomizes hashing, so the seed is shipped explicitly: it is
+    pinned in the environment *before* the first worker starts (spawn
+    children read ``PYTHONHASHSEED`` at interpreter startup — an
+    initializer would run too late) and echoed through the initializer
+    for verification.  Detection output is hash-order independent either
+    way (canonical sorts everywhere), which the spawn determinism tests
+    pin.
+    """
+    name = _context_name()
+    hash_seed = os.environ.get("PYTHONHASHSEED")
+    if name != "fork":
+        if hash_seed is None:
+            hash_seed = "0"
+            os.environ["PYTHONHASHSEED"] = hash_seed
+    context = multiprocessing.get_context(name)
     return ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=context,
-        initializer=initializer,
-        initargs=initargs,
+        initializer=_init_worker,
+        initargs=(hash_seed, initializer, initargs),
     )
 
 
@@ -90,8 +152,11 @@ def _run_traced(task: Callable[[], object]) -> tuple[object, dict | None, int]:
     """Run ``task`` in a worker, recording when the parent asked for a trace.
 
     Returns ``(result, trace_dict_or_None, worker_pid)`` — the shape every
-    worker task ships back to the parent.
+    worker task ships back to the parent.  The ``worker`` fault-injection
+    site fires first, so the resilience suite can crash/hang/fail a task
+    exactly where a real worker death would occur.
     """
+    inject("worker")
     if not _WORKER_STATE.get("trace"):
         return task(), None, os.getpid()
     recorder = obs.Recorder()
@@ -131,33 +196,103 @@ def _fan_out(
     initargs: tuple,
     jobs: int,
     serial_fallback,
+    retry: "RetryPolicy | None" = None,
+    deadline: "Deadline | None" = None,
+    capture_failures: bool = False,
 ) -> list:
     """Common scatter/gather: submit every task, survive a broken pool.
 
     ``worker_fn`` receives ``(index, task)`` and returns
-    ``(index, result, trace, pid)``.  Any task whose future raises
-    :class:`BrokenProcessPool` is recovered by calling
-    ``serial_fallback(task)`` in the parent (recorded as degraded by the
-    caller); genuine exceptions from the task body still propagate.
+    ``(index, result, trace, pid)``.  Failure handling, in order:
+
+    1. A task lost to a :class:`BrokenProcessPool` or raising a
+       :class:`TransientWorkerError` is re-submitted to a *fresh* pool,
+       up to ``retry.max_retries`` times with the policy's backoff
+       (``resilience.retries`` counts each re-submission).  The default
+       policy performs no retries — the pre-resilience behaviour.
+    2. When ``deadline`` expires, in-flight stragglers are abandoned
+       (``resilience.deadline_hits``) and every unfinished task joins
+       the serial fallback; no retries are attempted past the deadline.
+    3. Tasks still unfinished after 1–2 are recovered by calling
+       ``serial_fallback(task)`` in the parent
+       (``resilience.fallbacks``); a fallback that *also* raises either
+       propagates or — with ``capture_failures=True`` — becomes a
+       :class:`TaskFailure` sentinel in the result list, so callers with
+       their own degradation story (the sharded strategy) see exactly
+       which tasks died.
+
+    Genuine (non-transient) exceptions from the task body always
+    propagate: retrying a deterministic failure cannot fix it.
     """
     merger = _TraceMerger()
     results: list = [None] * len(tasks)
-    lost: list[int] = []
+    policy = retry if retry is not None else RetryPolicy()
     workers = max(1, min(jobs, len(tasks)))
-    with _pool(workers, initializer, initargs) as pool:
-        futures = [
-            pool.submit(worker_fn, (index, task)) for index, task in enumerate(tasks)
-        ]
-        for index, future in enumerate(futures):
-            try:
-                task_index, result, trace, pid = future.result()
-                results[task_index] = result
-                merger.absorb(trace, pid)
-            except BrokenProcessPool:
-                lost.append(index)
+
+    def pool_round(indices: "list[int]") -> "tuple[list[int], list[int]]":
+        """One pool generation: submit ``indices``, classify the losses."""
+        broken: list[int] = []
+        timed_out: list[int] = []
+        abandoned = False
+        pool = _pool(workers, initializer, initargs)
+        try:
+            futures = [
+                (index, pool.submit(worker_fn, (index, tasks[index])))
+                for index in indices
+            ]
+            for index, future in futures:
+                if abandoned:
+                    timed_out.append(index)
+                    continue
+                try:
+                    timeout = deadline.remaining() if deadline is not None else None
+                    task_index, result, trace, pid = future.result(timeout=timeout)
+                    results[task_index] = result
+                    merger.absorb(trace, pid)
+                except FuturesTimeoutError:
+                    obs.count("resilience.deadline_hits")
+                    abandoned = True
+                    timed_out.append(index)
+                except BrokenProcessPool:
+                    broken.append(index)
+                except TransientWorkerError:
+                    broken.append(index)
+        finally:
+            # On deadline abandonment, don't wait for hung stragglers —
+            # cancel what never started and let orphans finish unobserved.
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+        return broken, timed_out
+
+    pending = list(range(len(tasks)))
+    lost_broken: list[int] = []
+    lost_timed_out: list[int] = []
+    attempt = 0
+    while pending:
+        lost_broken, timed_out = pool_round(pending)
+        lost_timed_out.extend(timed_out)
+        if not lost_broken:
+            break
+        if timed_out or attempt >= policy.max_retries:
+            break
+        if deadline is not None and deadline.expired:
+            break
+        attempt += 1
+        obs.count("resilience.retries", len(lost_broken))
+        policy.sleep(attempt)
+        pending = lost_broken
+        lost_broken = []
+
+    lost = sorted(lost_broken + lost_timed_out)
     for index in lost:
-        obs.count("parallel.broken_pool_recoveries")
-        results[index] = serial_fallback(tasks[index])
+        if index not in lost_timed_out:
+            obs.count("parallel.broken_pool_recoveries")
+        obs.count("resilience.fallbacks")
+        try:
+            results[index] = serial_fallback(tasks[index])
+        except TransientWorkerError as error:
+            if not capture_failures:
+                raise
+            results[index] = TaskFailure(index, error)
     if lost and merger.tracing:
         obs.gauge("parallel.degraded", True)
     merger.finish()
@@ -194,14 +329,17 @@ def run_suite_parallel(
     scenario: "Scenario",
     known: "KnownLabels | None",
     jobs: int,
+    retry: "RetryPolicy | None" = None,
+    deadline: "Deadline | None" = None,
 ) -> "list[DetectorRun]":
     """Evaluate ``detectors`` on ``scenario`` across ``jobs`` processes.
 
     Labels are resolved by the caller (:func:`repro.eval.harness.run_suite`)
     so the simulation seed is consumed exactly once, identically to the
     serial path.  Results come back in input order.  A detector whose
-    worker died is re-evaluated serially and its run marked
-    ``degraded=True``; the detection output is identical either way.
+    worker died is retried per ``retry`` (none by default), then
+    re-evaluated serially and its run marked ``degraded=True``; the
+    detection output is identical either way.
     """
     from .harness import evaluate_detector
 
@@ -217,6 +355,8 @@ def run_suite_parallel(
         (scenario, known, obs.current() is not None),
         jobs,
         recover,
+        retry=retry,
+        deadline=deadline,
     )
 
 
@@ -264,14 +404,20 @@ def run_shards_parallel(
     params: "RICDParams",
     screening: "ScreeningParams",
     jobs: int,
-) -> "list[list[SuspiciousGroup]]":
+    retry: "RetryPolicy | None" = None,
+    deadline: "Deadline | None" = None,
+    capture_failures: bool = False,
+) -> "list[list[SuspiciousGroup] | TaskFailure]":
     """Run modules 1 + 2 over every shard across ``jobs`` processes.
 
     The detector (with its *resolved* global parameters — thresholds are
     never re-derived in a worker) ships once through the pool
     initializer; tasks carry only their shard subgraph.  Per-shard group
-    lists come back in shard order.  A shard whose worker died is re-run
-    serially in the parent, exactly like a lost suite detector.
+    lists come back in shard order.  A shard whose worker died is
+    retried per ``retry``, then re-run serially in the parent; with
+    ``capture_failures=True`` a shard that fails even the serial re-run
+    comes back as a :class:`TaskFailure` (the sharded strategy's cue to
+    degrade to a full-graph pass) instead of aborting the fan-out.
     """
 
     def recover(pair: tuple[int, "BipartiteGraph"]) -> "list[SuspiciousGroup]":
@@ -288,6 +434,9 @@ def run_shards_parallel(
         (detector, params, screening, obs.current() is not None),
         jobs,
         recover,
+        retry=retry,
+        deadline=deadline,
+        capture_failures=capture_failures,
     )
 
 
@@ -337,12 +486,14 @@ def sensitivity_sweep_parallel(
     screening: "ScreeningParams",
     known: "KnownLabels | None",
     jobs: int,
+    retry: "RetryPolicy | None" = None,
+    deadline: "Deadline | None" = None,
 ) -> "list[SweepPoint]":
     """Evaluate one Fig. 9 sweep across ``jobs`` processes, in value order.
 
     Like :func:`run_suite_parallel`, a value whose worker died is
-    recovered serially in the parent instead of surfacing a bare
-    :class:`BrokenProcessPool`.
+    retried per ``retry`` and finally recovered serially in the parent
+    instead of surfacing a bare :class:`BrokenProcessPool`.
     """
     from .sweeps import evaluate_sweep_point
 
@@ -358,4 +509,6 @@ def sensitivity_sweep_parallel(
         (scenario, parameter, base_params, screening, known, obs.current() is not None),
         jobs,
         recover,
+        retry=retry,
+        deadline=deadline,
     )

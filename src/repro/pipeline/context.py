@@ -15,12 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
+from .. import obs
 from .._util import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import RICDParams, ScreeningParams
     from ..core.groups import DetectionResult, SuspiciousGroup
     from ..graph.bipartite import BipartiteGraph
+    from ..resilience import Deadline
 
 __all__ = ["PipelineContext"]
 
@@ -60,6 +62,15 @@ class PipelineContext:
         the identification stage.
     feedback_rounds:
         Rounds the Fig. 7 driver performed (0 when no loop ran).
+    deadline:
+        The run's soft wall-clock budget, or ``None``.  The execution
+        strategy stops waiting on pool stragglers and the feedback
+        driver stops relaxing once it expires; the run always finishes
+        (serially, possibly degraded).
+    degradations:
+        Provenance of every graceful-degradation event this run absorbed
+        (``"shard.2"``, ``"feedback.round1"``, ...).  Non-empty marks
+        the assembled result ``degraded``.
     """
 
     graph: "BipartiteGraph"
@@ -72,7 +83,14 @@ class PipelineContext:
     groups: "list[SuspiciousGroup]" = field(default_factory=list)
     result: "DetectionResult | None" = None
     feedback_rounds: int = 0
+    deadline: "Deadline | None" = None
+    degradations: list[str] = field(default_factory=list)
 
     def working_graph(self) -> "BipartiteGraph":
         """The graph modules run on (defaults to the full graph)."""
         return self.working if self.working is not None else self.graph
+
+    def record_degradation(self, what: str) -> None:
+        """Note one graceful-degradation event (counted as a fallback)."""
+        self.degradations.append(what)
+        obs.count("resilience.fallbacks")

@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
 from .. import obs
+from ..errors import TransientWorkerError
+from ..resilience import RetryPolicy
+from ..resilience.faults import inject
 from .context import PipelineContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,11 +147,23 @@ class ShardedExecution:
     graph, *after* any seed expansion) and reused across feedback rounds:
     relaxing ``t_click``/``alpha`` never changes which component a node
     belongs to, so the plan stays valid for every round.
+
+    **Degradation ladder** (``retry`` configures steps 1–2): a failed
+    shard is retried with backoff, then re-run serially in the parent
+    (inside the pool fan-out); a shard that *still* fails — or a failed
+    canonical merge — degrades the whole round to one
+    :class:`SingleGraphExecution`-style pass over the unpartitioned
+    working graph, recording ``shard.<i>`` provenance on the context so
+    the result is explicitly marked ``degraded``.  The degraded output
+    is identical to the fault-free run by the locality argument in
+    :mod:`repro.shard.runner` (the full pass computes exactly what the
+    shard union would have).
     """
 
     modules: ModulesRunner
     shards: int = 1
     jobs: int = 1
+    retry: "RetryPolicy | None" = None
     _shard_graphs: "list[BipartiteGraph]" = field(
         default_factory=list, init=False, repr=False
     )
@@ -166,21 +181,65 @@ class ShardedExecution:
                 self._shard_graphs = plan.subgraphs(working)
             obs.gauge("shard.effective", len(plan))
 
+    def _run_shard_inline(
+        self, ctx: PipelineContext, index: int, shard_graph: "BipartiteGraph"
+    ):
+        """One in-line shard with the retry policy; failures come back typed."""
+        from ..eval.parallel import TaskFailure
+
+        policy = self.retry if self.retry is not None else RetryPolicy()
+        attempt = 0
+        while True:
+            try:
+                with obs.span(f"shard.{index}"):
+                    return self.modules._run_modules(
+                        shard_graph, ctx.params, ctx.screening, ctx.timer
+                    )
+            except TransientWorkerError as error:
+                if attempt >= policy.max_retries:
+                    return TaskFailure(index, error)
+                attempt += 1
+                obs.count("resilience.retries")
+                policy.sleep(attempt)
+
     def run_round(self, ctx: PipelineContext) -> "list[SuspiciousGroup]":
+        from ..eval.parallel import TaskFailure
+
         if self.jobs > 1 and len(self._shard_graphs) > 1:
             from ..eval.parallel import run_shards_parallel
 
             with ctx.timer.measure("detection"):
                 per_shard = run_shards_parallel(
-                    self.modules, self._shard_graphs, ctx.params, ctx.screening, self.jobs
+                    self.modules,
+                    self._shard_graphs,
+                    ctx.params,
+                    ctx.screening,
+                    self.jobs,
+                    retry=self.retry,
+                    deadline=ctx.deadline,
+                    capture_failures=True,
                 )
         else:
-            per_shard = []
-            for index, shard_graph in enumerate(self._shard_graphs):
-                with obs.span(f"shard.{index}"):
-                    per_shard.append(
-                        self.modules._run_modules(
-                            shard_graph, ctx.params, ctx.screening, ctx.timer
-                        )
-                    )
-        return merge_groups(per_shard)
+            per_shard = [
+                self._run_shard_inline(ctx, index, shard_graph)
+                for index, shard_graph in enumerate(self._shard_graphs)
+            ]
+        failed = [
+            part.index for part in per_shard if isinstance(part, TaskFailure)
+        ]
+        if not failed:
+            try:
+                inject("shard_merge")
+                return merge_groups(per_shard)
+            except TransientWorkerError:
+                failed = [-1]  # merge itself failed; provenance below
+        # Degrade: one full pass over the unpartitioned working graph.
+        for index in failed:
+            ctx.record_degradation("shard.merge" if index < 0 else f"shard.{index}")
+        obs.gauge("shard.degraded", True)
+        with obs.span("shard.degraded_full_pass"):
+            groups = self.modules._run_modules(
+                ctx.working_graph(), ctx.params, ctx.screening, ctx.timer
+            )
+        # Canonical order, exactly as the merged per-shard lists would be.
+        return merge_groups([groups])

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from .. import obs
 from ..core.identification import adjust_parameters, output_size
-from ..errors import FeedbackExhaustedError
+from ..errors import FeedbackExhaustedError, TransientWorkerError
+from ..resilience.faults import inject
 from .context import PipelineContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,22 +62,43 @@ class FeedbackDriver:
         context, so every shard of a sharded run sees the same relaxed
         values, exactly as the unsharded loop re-runs the whole graph.
         Records the round count on ``ctx.feedback_rounds``.
+
+        Resilience: the loop honours ``ctx.deadline`` — no new
+        relaxation round starts once the detection budget is spent — and
+        a round that dies with a :class:`TransientWorkerError` ends the
+        loop instead of losing the detection.  Either truncation returns
+        the best output seen so far, records ``feedback.*`` degradation
+        provenance on the context (the result is explicitly marked
+        degraded) and suppresses the ``strict`` raise: an exhausted
+        budget is not an exhausted policy.
         """
         policy = self.policy
         rounds = 0
         best = screened
+        truncated = False
         while (
             output_size(screened) < policy.expectation and rounds < policy.max_rounds
         ):
+            if ctx.deadline is not None and ctx.deadline.expired:
+                obs.count("resilience.deadline_hits")
+                ctx.record_degradation("feedback.deadline")
+                truncated = True
+                break
             ctx.params, ctx.screening = adjust_parameters(
                 ctx.params, ctx.screening, policy
             )
             rounds += 1
-            screened = run_round(ctx)
+            try:
+                inject("feedback")
+                screened = run_round(ctx)
+            except TransientWorkerError:
+                ctx.record_degradation(f"feedback.round{rounds}")
+                truncated = True
+                break
             if output_size(screened) > output_size(best):
                 best = screened
         if output_size(screened) < policy.expectation:
-            if self.strict:
+            if self.strict and not truncated:
                 raise FeedbackExhaustedError(
                     rounds, output_size(screened), policy.expectation
                 )

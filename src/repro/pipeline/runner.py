@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from .. import obs
 from .._util import Stopwatch
+from ..resilience import Deadline
 from .context import PipelineContext
 from .execution import ExecutionStrategy
 from .feedback import FeedbackDriver
@@ -48,6 +49,12 @@ class DetectionPipeline:
         feedback policy.  Either way ``detect.feedback_rounds`` is
         emitted (0 without a loop), so traces from feedback-enabled and
         feedback-disabled runs line up.
+    deadline_seconds:
+        Soft wall-clock budget for the whole detection, or ``None``.
+        The clock starts when :meth:`run` is entered; expiry routes
+        remaining parallel work through the serial fallback and stops
+        new feedback rounds — the run always completes, possibly marked
+        degraded, never truncated silently.
     """
 
     thresholds: ResolveThresholds
@@ -55,6 +62,7 @@ class DetectionPipeline:
     strategy: ExecutionStrategy
     identify: Identification
     feedback: "FeedbackDriver | None" = None
+    deadline_seconds: "float | None" = None
 
     def run(
         self,
@@ -72,6 +80,7 @@ class DetectionPipeline:
             timer=Stopwatch(),
             seed_users=tuple(seed_users),
             seed_items=tuple(seed_items),
+            deadline=Deadline.start(self.deadline_seconds),
         )
         self.thresholds.run(ctx)
         self.seed.run(ctx)
@@ -85,4 +94,8 @@ class DetectionPipeline:
         result = ctx.result
         result.timings = dict(ctx.timer.durations)
         result.feedback_rounds = ctx.feedback_rounds
+        if ctx.degradations:
+            result.degraded = True
+            result.degradations = tuple(ctx.degradations)
+            obs.gauge("detect.degraded", True)
         return result

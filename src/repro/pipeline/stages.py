@@ -23,10 +23,12 @@ from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 import weakref
 
 from .. import obs
+from ..errors import DegenerateGraphError
 from ..graph.builders import seed_expansion
 from ..core.identification import assemble_result
 from ..core.screening import screen_groups
 from ..core.thresholds import pareto_hot_threshold, t_click_from_graph
+from ..resilience.faults import inject
 from .context import PipelineContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -112,12 +114,24 @@ class ResolveThresholds:
         changes: dict[str, float] = {}
         if params.t_hot is None:
             derive = self.derive_t_hot if self.derive_t_hot is not None else pareto_hot_threshold
-            changes["t_hot"] = float(derive(graph))
+            try:
+                changes["t_hot"] = float(derive(graph))
+            except DegenerateGraphError:
+                # Degenerate marketplace (empty graph, single-point Pareto
+                # front): fall back to the floor every derivation bottoms
+                # out at, so detection proceeds instead of dying on an
+                # unusual but valid input.
+                obs.count("detect.degenerate_thresholds")
+                changes["t_hot"] = 1.0
         if params.t_click is None:
             derive = (
                 self.derive_t_click if self.derive_t_click is not None else t_click_from_graph
             )
-            changes["t_click"] = float(derive(graph))
+            try:
+                changes["t_click"] = float(derive(graph))
+            except DegenerateGraphError:
+                obs.count("detect.degenerate_thresholds")
+                changes["t_click"] = 2.0
         resolved = params.replace(**changes)
         self._cache = (weakref.ref(graph), graph.version, params, resolved)
         return resolved
@@ -208,6 +222,7 @@ class Extraction:
 
     def run(self, ctx: PipelineContext) -> None:
         with ctx.timer.measure("detection"), obs.span("extraction"):
+            inject("extraction")
             ctx.groups = self.extract(ctx.working_graph(), ctx.params)
 
 
@@ -232,6 +247,7 @@ class Screening:
     def run(self, ctx: PipelineContext) -> None:
         with ctx.timer.measure("screening"), obs.span("screening"):
             if self.enabled:
+                inject("screening")
                 ctx.groups = screen_groups(
                     ctx.working_graph(),
                     ctx.groups,

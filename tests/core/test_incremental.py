@@ -203,3 +203,72 @@ class TestCleanup:
         before = online.graph.total_clicks
         online.apply_cleanup([("ghost", "phantom", 5)])
         assert online.graph.total_clicks == before
+
+
+class TestCleanupEdgeDeletion:
+    def test_fully_cleaned_edge_leaves_the_adjacency(self, tiny):
+        online = make_online(tiny.graph, recheck=100)
+        user = next(iter(tiny.graph.users()))
+        item = next(iter(tiny.graph.user_neighbors(user)))
+        online.apply_cleanup([(user, item, tiny.graph.get_click(user, item))])
+        assert not online.graph.has_edge(user, item)
+        assert item not in dict(online.graph.user_neighbors(user))
+        assert online.graph.num_edges == tiny.graph.num_edges - 1
+
+    def test_threshold_parity_with_freshly_built_graph(self, tiny):
+        """Regression: a cleaned-to-zero edge must not linger as a zombie.
+
+        A weight-0 edge would still count toward ``Avg_cnt`` (Eq. 4's
+        denominator) and item degrees, so the live graph's re-derived
+        thresholds would drift from a graph built fresh without the
+        edge.  Both derivations must agree exactly.
+        """
+        from repro.core.thresholds import pareto_hot_threshold, t_click_from_graph
+        from repro.graph import BipartiteGraph
+
+        online = make_online(tiny.graph, recheck=100)
+        user = next(iter(tiny.graph.users()))
+        removed = set()
+        for item in list(dict(tiny.graph.user_neighbors(user)))[:2]:
+            online.apply_cleanup([(user, item, tiny.graph.get_click(user, item))])
+            removed.add((user, item))
+
+        fresh = BipartiteGraph()
+        for edge_user, edge_item, clicks in tiny.graph.edges():
+            if (edge_user, edge_item) not in removed:
+                fresh.add_click(edge_user, edge_item, clicks)
+        assert online.graph.num_edges == fresh.num_edges
+        assert t_click_from_graph(online.graph) == t_click_from_graph(fresh)
+        assert pareto_hot_threshold(online.graph) == pareto_hot_threshold(fresh)
+
+
+class TestTraverseCap:
+    @staticmethod
+    def _growth_batch(graph, edges=3000):
+        """New users piling clicks onto a handful of existing items."""
+        targets = sorted(map(str, graph.items()))[:5]
+        return ClickBatch.of(
+            (f"grower_{index}", targets[index % len(targets)], 1)
+            for index in range(edges)
+        )
+
+    def test_derived_cap_tracks_live_graph_growth(self, tiny):
+        online = make_online(tiny.graph, recheck=100)
+        initial = online.traverse_degree_cap
+        online.ingest(self._growth_batch(online.graph))
+        online.recheck()
+        # Mean item degree grew by an order of magnitude; a cap frozen at
+        # bootstrap would now silently shrink the dirty region.
+        assert online.traverse_degree_cap > initial
+
+    def test_explicit_cap_stays_fixed(self, tiny):
+        online = IncrementalRICD(
+            tiny.graph,
+            params=params(),
+            screening=ScreeningParams(min_users=2, min_items=2),
+            recheck_batches=100,
+            traverse_degree_cap=77,
+        )
+        online.ingest(self._growth_batch(online.graph))
+        online.recheck()
+        assert online.traverse_degree_cap == 77

@@ -97,3 +97,56 @@ class TestClassifyItems:
     def test_boundary_inclusive(self, skewed_graph):
         hot, _ = classify_items(skewed_graph, 80)
         assert "head" in hot
+
+
+class TestDegenerateInputs:
+    def test_heavy_share_one_raises_typed_error(self):
+        from repro.errors import DegenerateGraphError
+
+        with pytest.raises(DegenerateGraphError):
+            t_click_threshold(10.0, 4.0, heavy_share=1.0)
+
+    def test_non_positive_statistics_raise_typed_error(self):
+        from repro.errors import DegenerateGraphError
+
+        with pytest.raises(DegenerateGraphError):
+            t_click_threshold(0.0, 4.0)
+        with pytest.raises(DegenerateGraphError):
+            t_click_threshold(10.0, -1.0)
+
+    def test_typed_error_is_still_a_value_error(self):
+        from repro.errors import DegenerateGraphError, DetectionError
+
+        assert issubclass(DegenerateGraphError, ValueError)
+        assert issubclass(DegenerateGraphError, DetectionError)
+
+    def test_out_of_range_share_stays_plain(self):
+        from repro.errors import DegenerateGraphError
+
+        with pytest.raises(ValueError) as excinfo:
+            t_click_threshold(10.0, 4.0, heavy_share=1.5)
+        assert not isinstance(excinfo.value, DegenerateGraphError)
+
+    def test_resolve_stage_falls_back_to_floor_thresholds(self, empty_graph):
+        from repro import obs
+        from repro.config import RICDParams
+        from repro.errors import DegenerateGraphError
+        from repro.pipeline.stages import ResolveThresholds
+
+        def degenerate(graph):
+            raise DegenerateGraphError("single-point Pareto front")
+
+        stage = ResolveThresholds(derive_t_hot=degenerate, derive_t_click=degenerate)
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            resolved = stage.resolve(empty_graph, RICDParams(k1=4, k2=4))
+        assert resolved.t_hot == 1.0
+        assert resolved.t_click == 2.0
+        assert recorder.counters["detect.degenerate_thresholds"] == 2
+
+    def test_detection_survives_degenerate_derivation(self, empty_graph):
+        from repro.config import RICDParams
+        from repro.core.framework import RICDDetector
+
+        result = RICDDetector(params=RICDParams(k1=4, k2=4)).detect(empty_graph)
+        assert result.groups == []

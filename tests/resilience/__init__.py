@@ -1,0 +1,1 @@
+"""Resilience suite: retry/backoff, deadlines, fault injection, degradation."""

@@ -1,0 +1,167 @@
+"""The fault matrix: every instrumented site × every fault flavour.
+
+The contract under test is the degradation ladder's one invariant:
+**no silent output loss**.  Whatever is injected, a detection either
+
+* produces the canonically identical result (a retry or serial fallback
+  absorbed the fault), or
+* produces the canonically identical result *and* carries explicit
+  ``degraded`` provenance naming what fell back, or
+* (incremental recheck only) keeps the previous result, explicitly
+  marked ``stale``.
+
+A run that dropped groups without saying so would pass none of these.
+"""
+
+import pytest
+
+from repro import obs
+from repro.config import FeedbackPolicy, RICDParams, ScreeningParams
+from repro.core.incremental import ClickBatch, IncrementalRICD
+from repro.resilience import FaultInjector, injecting
+
+from .conftest import canonical, make_detector
+
+
+@pytest.fixture(scope="module")
+def reference(federation):
+    """The fault-free sharded detection everything is compared against."""
+    return make_detector().detect(federation)
+
+
+class TestShardSiteFaults:
+    """Faults inside modules 1 + 2 on the in-line sharded path."""
+
+    @pytest.mark.parametrize("site", ["extraction", "screening"])
+    def test_retry_absorbs_a_transient_fault(self, federation, reference, site):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            with injecting(FaultInjector(error=1.0, sites=(site,), max_faults=1)):
+                result = make_detector(retries=1).detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert not result.degraded  # the retry fixed it; nothing fell back
+        assert recorder.counters["resilience.retries"] == 1
+
+    @pytest.mark.parametrize("site", ["extraction", "screening"])
+    @pytest.mark.parametrize("kind", ["error", "crash"])
+    def test_exhausted_retries_degrade_with_provenance(
+        self, federation, reference, site, kind
+    ):
+        # Three shards, two faults, no retries: shards 0 and 1 fail, the
+        # round degrades to one full-graph pass (fault budget spent by
+        # then).  "crash" in-process surfaces as the same typed error.
+        probabilities = {kind: 1.0}
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            with injecting(
+                FaultInjector(sites=(site,), max_faults=2, **probabilities)
+            ):
+                result = make_detector(retries=0).detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert result.degraded
+        assert result.degradations == ("shard.0", "shard.1")
+        assert recorder.counters["resilience.fallbacks"] == 2
+        assert recorder.gauges["shard.degraded"] is True
+
+    @pytest.mark.parametrize("site", ["extraction", "screening"])
+    def test_hang_only_delays(self, federation, reference, site):
+        with injecting(
+            FaultInjector(hang=1.0, hang_seconds=0.01, sites=(site,), max_faults=2)
+        ):
+            result = make_detector().detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert not result.degraded
+
+
+class TestMergeFaults:
+    def test_failed_merge_degrades_to_full_pass(self, federation, reference):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            with injecting(
+                FaultInjector(error=1.0, sites=("shard_merge",), max_faults=1)
+            ):
+                result = make_detector().detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert result.degraded
+        assert result.degradations == ("shard.merge",)
+        assert recorder.counters["resilience.fallbacks"] == 1
+
+
+class TestFeedbackFaults:
+    def _policy(self):
+        # An unreachable expectation forces relaxation rounds.
+        return FeedbackPolicy(expectation=10**6, max_rounds=3)
+
+    def test_faulted_round_truncates_with_provenance(self, federation, reference):
+        with injecting(FaultInjector(error=1.0, sites=("feedback",), max_faults=1)):
+            result = make_detector(feedback=self._policy()).detect(federation)
+        # Round zero's output survives; the loop stopped at round one.
+        assert canonical(result) == canonical(reference)
+        assert result.degraded
+        assert result.degradations == ("feedback.round1",)
+        assert result.feedback_rounds == 1
+
+    def test_strict_raise_suppressed_on_truncation(self, federation):
+        with injecting(FaultInjector(error=1.0, sites=("feedback",), max_faults=1)):
+            result = make_detector(
+                feedback=self._policy(), strict_feedback=True
+            ).detect(federation)
+        assert result.degraded  # no FeedbackExhaustedError: budget != policy
+
+    def test_deadline_stops_new_rounds(self, federation, reference):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            result = make_detector(
+                feedback=self._policy(), deadline=1e-6
+            ).detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert result.degraded
+        assert "feedback.deadline" in result.degradations
+        assert result.feedback_rounds == 0
+        assert recorder.counters["resilience.deadline_hits"] >= 1
+
+
+class TestRecheckFaults:
+    def _online(self, federation):
+        return IncrementalRICD(
+            federation,
+            params=RICDParams(k1=4, k2=3),
+            screening=ScreeningParams(min_users=2, min_items=2),
+            recheck_batches=1,
+        )
+
+    def test_failed_recheck_keeps_previous_result_as_stale(self, federation):
+        online = self._online(federation)
+        bootstrap = canonical(online.current_result)
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            with injecting(FaultInjector(error=1.0, sites=("recheck",), max_faults=1)):
+                result = online.ingest(ClickBatch.of([("fresh", "r0:i0", 3)]))
+        assert result.stale
+        assert canonical(result) == bootstrap  # previous result, kept valid
+        assert online.dirty_size == 2  # region retained for the next pass
+        assert recorder.counters["resilience.stale_rechecks"] == 1
+
+    def test_next_recheck_recovers_the_retained_region(self, federation):
+        online = self._online(federation)
+        with injecting(FaultInjector(error=1.0, sites=("recheck",), max_faults=1)):
+            online.ingest(ClickBatch.of([("fresh", "r0:i0", 3)]))
+            result = online.recheck()  # budget spent: this one succeeds
+        assert not result.stale
+        assert online.dirty_size == 0
+        # The recovered state equals a recheck that never failed.
+        witness = self._online(federation)
+        witness.ingest(ClickBatch.of([("fresh", "r0:i0", 3)]))
+        assert canonical(result) == canonical(witness.current_result)
+
+
+class TestNoiseFloor:
+    def test_disabled_injection_changes_nothing(self, federation, reference):
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            result = make_detector(retries=2, deadline=3600.0).detect(federation)
+        assert canonical(result) == canonical(reference)
+        assert not result.degraded
+        assert "resilience.retries" not in recorder.counters
+        assert "resilience.fallbacks" not in recorder.counters
+        assert not any(k.startswith("resilience.injected") for k in recorder.counters)

@@ -1,0 +1,105 @@
+"""Unit tests for :class:`RetryPolicy` and :class:`Deadline`."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceededError, DetectionError
+from repro.resilience import Deadline, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_default_performs_no_retries(self):
+        assert RetryPolicy().max_retries == 0
+
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert [round(policy.delay(a), 3) for a in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0
+        )
+        assert policy.delay(5) == 2.0
+
+    def test_jitter_is_deterministic(self):
+        first = RetryPolicy(max_retries=2, jitter=0.5, seed=9)
+        second = RetryPolicy(max_retries=2, jitter=0.5, seed=9)
+        assert [first.delay(a) for a in (1, 2, 3)] == [
+            second.delay(a) for a in (1, 2, 3)
+        ]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.1, jitter=0.25, seed=3)
+        for attempt in range(1, 6):
+            raw = min(policy.max_delay, 0.1 * policy.multiplier ** (attempt - 1))
+            assert raw * 0.75 <= policy.delay(attempt) <= raw * 1.25
+
+    def test_different_seeds_differ(self):
+        delays_a = [RetryPolicy(jitter=0.5, seed=1).delay(a) for a in (1, 2, 3)]
+        delays_b = [RetryPolicy(jitter=0.5, seed=2).delay(a) for a in (1, 2, 3)]
+        assert delays_a != delays_b
+
+    def test_sleep_zero_delay_returns_immediately(self):
+        start = time.monotonic()
+        RetryPolicy(base_delay=0.0, jitter=0.0).sleep(1)
+        assert time.monotonic() - start < 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_invalid_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_policy_is_picklable(self):
+        policy = RetryPolicy(max_retries=2, seed=7)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestDeadline:
+    def test_start_none_means_no_deadline(self):
+        assert Deadline.start(None) is None
+
+    def test_fresh_budget_not_expired(self):
+        deadline = Deadline.start(60.0)
+        assert not deadline.expired
+        assert 0.0 < deadline.remaining() <= 60.0
+        deadline.check()  # must not raise
+
+    def test_tiny_budget_expires(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_typed_error(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check()
+        assert isinstance(excinfo.value, DetectionError)
+        assert excinfo.value.budget == 1e-9
+
+    def test_elapsed_is_monotone(self):
+        deadline = Deadline(10.0)
+        first = deadline.elapsed()
+        time.sleep(0.001)
+        assert deadline.elapsed() >= first
+
+    @pytest.mark.parametrize("seconds", [0.0, -1.0])
+    def test_invalid_budget(self, seconds):
+        with pytest.raises(ConfigError):
+            Deadline(seconds)
