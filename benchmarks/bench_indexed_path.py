@@ -105,12 +105,13 @@ def _min_elapsed(fn, rounds: int) -> float:
     return min(samples)
 
 
-def test_indexed_path_report(benchmark, scaled_scenarios, emit_report):
+def test_indexed_path_report(benchmark, scaled_scenarios, emit_report, emit_json):
     if not sparse_available():
         pytest.skip("scipy not installed")
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     lines = ["Indexed fast path — snapshot build / uncached vs cached extraction (min of 3):"]
+    json_scales = {}
     for scale, scenario in scaled_scenarios.items():
         graph = scenario.graph
         build = _min_elapsed(lambda: IndexedGraph.from_graph(graph), 3)
@@ -118,11 +119,33 @@ def test_indexed_path_report(benchmark, scaled_scenarios, emit_report):
         extract_groups_sparse(graph, PARAMS)  # warm the snapshot + fixpoint memo
         cached = _min_elapsed(lambda: extract_groups_sparse(graph, PARAMS), 3)
         speedup = uncached / cached if cached > 0 else float("inf")
+        json_scales[scale] = {
+            "edges": graph.num_edges,
+            "snapshot_build_s": build,
+            "extract_uncached_s": uncached,
+            "extract_cached_s": cached,
+        }
         lines.append(
             f"  {scale:>4}: {graph.num_edges:,} edges | build {build * 1000:.0f} ms | "
             f"extract uncached {uncached * 1000:.0f} ms vs cached {cached * 1000:.0f} ms "
             f"({speedup:.1f}x)"
         )
+    emit_json(
+        "indexed_path",
+        {
+            "config": {
+                "params": {"k1": PARAMS.k1, "k2": PARAMS.k2, "alpha": PARAMS.alpha},
+                "scales": {
+                    name: dict(
+                        zip(("n_users", "n_items", "n_cohorts", "n_superfans"), spec)
+                    )
+                    for name, spec in SCALES.items()
+                },
+                "rounds": 3,
+            },
+            "scales": json_scales,
+        },
+    )
 
     # Parallel vs serial Fig. 8 suite on the 1x marketplace.  One round:
     # the suite is the expensive part, and the comparison is qualitative

@@ -9,14 +9,29 @@ run log (``-s``) and appends it to ``benchmarks/reports.txt``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro._util import peak_rss_mb
 from repro.datagen import paper_scenario
 from repro.eval import simulate_known_labels
 
 REPORT_PATH = Path(__file__).parent / "reports.txt"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "Directory to write machine-readable BENCH_<name>.json files "
+            "(config, min-of-rounds timings, peak RSS) alongside the "
+            "human-readable reports.  Disabled when omitted."
+        ),
+    )
 
 
 def pytest_sessionstart(session):
@@ -49,5 +64,41 @@ def emit_report():
         with REPORT_PATH.open("a") as handle:
             handle.write(text)
             handle.write("\n\n")
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def emit_json(request):
+    """Callable writing one ``BENCH_<name>.json`` under ``--json-out``.
+
+    The payload is the benchmark's own dict (its config and min-of-rounds
+    timings); the fixture stamps the process's peak RSS so every artifact
+    carries the memory high-water mark of the run that produced it.  A
+    no-op (returning ``None``) when ``--json-out`` was not given, so
+    benchmarks can call it unconditionally.
+    """
+    out_dir = request.config.getoption("--json-out")
+
+    def emit(name: str, payload: dict):
+        if out_dir is None:
+            return None
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        document = dict(payload)
+        document["peak_rss_mb"] = round(peak_rss_mb(), 1)
+        path.write_text(
+            json.dumps(
+                document,
+                indent=2,
+                sort_keys=True,
+                # numpy scalars (np.int64 edge counts etc.) serialize as
+                # their Python value rather than erroring the whole run.
+                default=lambda value: value.item(),
+            )
+            + "\n"
+        )
+        return path
 
     return emit

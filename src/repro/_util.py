@@ -3,10 +3,30 @@
 from __future__ import annotations
 
 import math
+import sys
 import time
 from contextlib import contextmanager
 
-__all__ = ["ceil_frac", "Stopwatch", "stopwatch"]
+__all__ = ["ceil_frac", "peak_rss_mb", "Stopwatch", "stopwatch"]
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (0.0 if unknown).
+
+    Linux reports ``ru_maxrss`` in KiB, macOS in bytes; Windows has no
+    ``resource`` module at all, hence the import guard.  The value is the
+    process-lifetime high-water mark, which is exactly what the
+    ``extract.peak_rss_mb`` gauge wants: how close this run came to the
+    memory budget.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def ceil_frac(alpha: float, k: int) -> int:

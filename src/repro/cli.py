@@ -92,18 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect_parser.add_argument(
         "--engine",
-        choices=("reference", "sparse", "auto"),
+        choices=("reference", "sparse", "bitset", "auto"),
         default="auto",
         help=(
-            "extraction engine: pure-Python reference, scipy sparse, or "
-            "auto (sparse above the edge threshold; default)"
+            "extraction engine: pure-Python reference, scipy sparse, numpy "
+            "bitset, or auto (bitset above the edge threshold; default)"
         ),
     )
     detect_parser.add_argument(
         "--auto-engine-threshold",
         type=int,
         default=20_000,
-        help="edge count above which engine=auto switches to sparse (default 20000)",
+        help=(
+            "edge count above which engine=auto switches to an accelerated "
+            "engine (default 20000)"
+        ),
     )
     detect_parser.add_argument(
         "--shards",

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from .. import obs
-from .._util import ceil_frac
+from .._util import ceil_frac, peak_rss_mb
 from ..config import RICDParams
 from ..graph.bipartite import BipartiteGraph
 from ..graph.views import connected_components
@@ -195,6 +195,7 @@ def prune_to_fixpoint(
     if not iterate:
         square_pruning(graph, params, ordered)
         obs.count("extract.fixpoint_rounds", 1)
+        obs.gauge("extract.peak_rss_mb", round(peak_rss_mb(), 1))
         return graph
     changed = True
     rounds = 0
@@ -204,6 +205,7 @@ def prune_to_fixpoint(
         if changed:
             core_pruning(graph, params)
     obs.count("extract.fixpoint_rounds", rounds)
+    obs.gauge("extract.peak_rss_mb", round(peak_rss_mb(), 1))
     return graph
 
 

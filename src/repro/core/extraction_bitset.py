@@ -1,0 +1,627 @@
+"""Native-speed bitset/CSR implementation of Algorithm 3's pruning.
+
+The sparse engine (:mod:`repro.core.extraction_sparse`) re-expresses the
+pruning conditions as scipy Gram products, but it pays for that clarity at
+scale: every fixpoint round *copies* the whole working matrix twice (row
+and column fancy-index slicing) and multiplies full matrices even when a
+round only perturbed a handful of vertices.  This module touches the full
+vertex axes exactly once — a vectorized CorePruning floor pass straight
+off the CSR ``indptr`` degrees that mass-kills the casual majority — and
+then compacts the survivors into a rank-compressed working subgraph where
+everything else happens:
+
+* **membership masks** are numpy packed bitsets (``uint64`` words, one bit
+  per vertex, with byte-mask twins for fast gathered-index tests), so
+  kills are bit-clears and degree upkeep is a decrement cascade bounded
+  at O(E) for the whole fixpoint;
+* **degree/click recomputation** is segment arithmetic over CSR
+  ``indptr`` slices (``np.diff`` at each compaction, ``np.add.reduceat``
+  in the property-test cross-check, bincount deltas in the cascade);
+* **SquarePruning** evaluates only *dirty* vertices (those whose two-hop
+  neighbourhood lost a member since their last evaluation) by expanding
+  their alive wedges and bin-counting common-neighbour multiplicities in
+  bounded-memory blocks, on a freshly re-compacted subgraph each round so
+  wedges never cross dead hot-vertex fan-out.
+
+The fixpoint is identical to the reference and sparse engines': the
+pruning conditions are monotone (a removal never makes another vertex
+*more* viable), so any evaluation order converges to the same unique
+fixpoint; the differential suite pins the equivalence on the shared
+scenario grid.  The kernel itself is array-native —
+:func:`prune_fixpoint_arrays` needs nothing but CSR/CSC index arrays —
+which is what lets paper-scale graphs stream from disk (memory-mapped
+arrays, see :mod:`repro.graph.io`) without ever materialising a
+dict-of-dict :class:`~repro.graph.bipartite.BipartiteGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+try:  # numpy is an optional accelerator; the reference engine needs nothing
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from .. import obs
+from .._util import ceil_frac, peak_rss_mb
+from ..config import RICDParams
+from ..graph.bipartite import BipartiteGraph
+from ..graph.views import connected_components
+from .groups import SuspiciousGroup
+
+__all__ = [
+    "bitset_available",
+    "prune_fixpoint_arrays",
+    "prune_to_fixpoint_bitset",
+    "extract_groups_bitset",
+]
+
+Node = Hashable
+
+#: Upper bound on the cells of one SquarePruning bincount block
+#: (``block_vertices x alive_vertices``); 4M int64 cells = 32 MiB.
+_TARGET_CELLS = 1 << 22
+#: Upper bound on one wedge-expansion chunk (two-hop gather entries).
+_WEDGE_LIMIT = 1 << 23
+
+
+def bitset_available() -> bool:
+    """Whether the numpy-backed bitset engine can be used."""
+    return np is not None
+
+
+# ----------------------------------------------------------------------
+# Packed-bitset membership masks
+# ----------------------------------------------------------------------
+def _bitset_full(n: int):
+    """A packed bitset of ``n`` bits, all set."""
+    words = np.full((n + 63) >> 6, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = n & 63
+    if tail and len(words):
+        words[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+    return words
+
+
+def _bitset_test(words, idx):
+    """Boolean array: is bit ``idx`` set?  Vectorized gather + shift."""
+    shifts = (idx & 63).astype(np.uint64)
+    return ((words[idx >> 6] >> shifts) & np.uint64(1)).astype(bool)
+
+
+def _bitset_clear(words, idx) -> None:
+    """Clear bits ``idx`` in place (duplicates and shared words are fine)."""
+    if len(idx) == 0:
+        return
+    masks = ~(np.uint64(1) << (idx & 63).astype(np.uint64))
+    np.bitwise_and.at(words, idx >> 6, masks)
+
+
+if hasattr(np, "bitwise_count") if np is not None else False:
+
+    def _bitset_count(words) -> int:
+        """Number of set bits."""
+        return int(np.bitwise_count(words).sum())
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+
+    def _bitset_count(words) -> int:
+        """Number of set bits (byte-unpack fallback for old numpy)."""
+        return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def _bitset_indices(words):
+    """Indices of the set bits, ascending."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits)
+
+
+# ----------------------------------------------------------------------
+# Frontier-limited CSR helpers
+# ----------------------------------------------------------------------
+def _gather(vertices, indptr, indices):
+    """Concatenated adjacency slices of ``vertices``.
+
+    Returns ``(neighbors, lens, seg_starts)``: the concatenation of
+    ``indices[indptr[v]:indptr[v + 1]]`` for each ``v``, the slice length
+    per vertex, and each slice's offset into the concatenation.
+    """
+    lens = indptr[vertices + 1] - indptr[vertices]
+    total = int(lens.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, lens, np.zeros(len(vertices), dtype=np.int64)
+    seg_ends = np.cumsum(lens)
+    seg_starts = seg_ends - lens
+    positions = np.arange(total, dtype=np.int64)
+    positions += np.repeat(indptr[vertices] - seg_starts, lens)
+    return np.asarray(indices)[positions], lens, seg_starts
+
+
+def _recount_alive_degrees(vertices, indptr, indices, other_alive, deg) -> None:
+    """``deg[vertices] = alive-neighbour count``, via ``np.add.reduceat``.
+
+    Full recomputation of a vertex set's alive degrees as segment sums
+    over their static CSR slices.  The fixpoint driver itself maintains
+    degrees by decrement (see ``kill`` inside
+    :func:`prune_fixpoint_arrays`), so this is the independent
+    cross-check used by the property tests, not the hot path.
+    """
+    if len(vertices) == 0:
+        return
+    lens = indptr[vertices + 1] - indptr[vertices]
+    nonempty = vertices[lens > 0]
+    deg[vertices[lens == 0]] = 0
+    if len(nonempty) == 0:
+        return
+    neighbors, _, seg_starts = _gather(nonempty, indptr, indices)
+    alive = _bitset_test(other_alive, neighbors).astype(np.int64)
+    deg[nonempty] = np.add.reduceat(alive, seg_starts)
+
+
+def _alive_neighbors(vertices, indptr, indices, other_alive, n_other):
+    """Unique alive neighbours of ``vertices``.
+
+    Deduplicates through a dense boolean scatter mask — ``O(edges +
+    n_other)`` with tiny constants — rather than a sort-based
+    ``np.unique``, which profiled as the cascade's dominant cost on
+    million-vertex frontiers.
+    """
+    if len(vertices) == 0:
+        return np.empty(0, dtype=np.int64)
+    neighbors, _, _ = _gather(vertices, indptr, indices)
+    if len(neighbors) == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = np.zeros(n_other, dtype=bool)
+    mask[neighbors] = True
+    touched = np.flatnonzero(mask)
+    return touched[_bitset_test(other_alive, touched)]
+
+
+# ----------------------------------------------------------------------
+# The kernel
+# ----------------------------------------------------------------------
+def prune_fixpoint_arrays(
+    user_indptr,
+    user_items,
+    item_indptr,
+    item_users,
+    params: RICDParams,
+    stats: list | None = None,
+):
+    """CorePruning/SquarePruning fixpoint on raw CSR/CSC index arrays.
+
+    Parameters
+    ----------
+    user_indptr, user_items:
+        User-major CSR adjacency (row ``u``'s distinct items are
+        ``user_items[user_indptr[u]:user_indptr[u + 1]]``).
+    item_indptr, item_users:
+        Item-major CSC adjacency, mirrored.
+    params:
+        Extraction parameters (``k1``, ``k2``, ``alpha``).
+    stats:
+        Optional list; when given, one dict per fixpoint round is appended
+        (kills, wedge/edge traffic, elapsed seconds) — the roofline
+        benchmark's per-round bandwidth accounting.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        Ascending indices of the surviving users and items.
+    """
+    if np is None:
+        raise RuntimeError("numpy is not installed; use the reference engine")
+    import time
+
+    n_users = len(user_indptr) - 1
+    n_items = len(item_indptr) - 1
+    user_floor = params.user_degree_floor
+    item_floor = params.item_degree_floor
+    user_common_floor = ceil_frac(params.alpha, params.k2)
+    item_common_floor = ceil_frac(params.alpha, params.k1)
+    empty = np.empty(0, dtype=np.int64)
+    traffic = [0]  # gathered adjacency entries, for the roofline accounting
+
+    def gather(vertices, indptr, indices):
+        neighbors, lens, seg_starts = _gather(vertices, indptr, indices)
+        traffic[0] += len(neighbors)
+        return neighbors, lens, seg_starts
+
+    # ------------------------------------------------------------------
+    # Working-space state.  After the initial floor pass the kernel never
+    # touches the full vertex axes again: the surviving subgraph is
+    # compacted into rank-compressed CSR/CSC arrays and every later
+    # cascade, square pass and dirty walk runs in that compact space
+    # (re-compacted each round as it shrinks).  ``g_users``/``g_items``
+    # map working ids back to the caller's indices.  The packed bitsets
+    # are authoritative for popcounts/enumeration; the byte-mask twins
+    # (``live_u``/``live_i``) make membership tests over big gathered
+    # index arrays a single boolean fancy-index.
+    # ------------------------------------------------------------------
+    w_user_indptr = w_user_items = w_item_indptr = w_item_users = None
+    g_users = g_items = empty
+    n_wu = n_wi = 0
+    alive_u = alive_i = None
+    live_u = live_i = None
+    deg_u = deg_i = None
+
+    def kill(bad, indptr, indices, alive_self, live_self, deg_other, n_other, counter):
+        """Clear ``bad``'s bits and decrement their neighbours' degrees.
+
+        Degrees are maintained by decrement rather than recomputation:
+        every killed vertex was alive (so it was counted in each
+        neighbour's degree exactly once), which bounds the whole
+        cascade's work at O(E) — each vertex dies at most once and its
+        adjacency is gathered exactly once.  Returns the touched
+        neighbour indices (dead ones included; callers filter by the
+        membership mask).
+        """
+        _bitset_clear(alive_self, bad)
+        live_self[bad] = False
+        obs.count(counter, len(bad))
+        neighbors, _, _ = gather(bad, indptr, indices)
+        if len(neighbors) == 0:
+            return empty
+        delta = np.bincount(neighbors, minlength=n_other)
+        deg_other -= delta
+        return np.flatnonzero(delta)
+
+    def core_cascade(frontier_u, frontier_i) -> None:
+        """Cascade the degree floors from the given frontiers, in place.
+
+        Runs in the current working space (the inner reads pick up the
+        variables as rebound by the latest compaction).
+        """
+        while len(frontier_u) or len(frontier_i):
+            if len(frontier_u):
+                bad = frontier_u[live_u[frontier_u]]
+                bad = bad[deg_u[bad] < user_floor]
+                frontier_u = empty
+                if len(bad):
+                    touched = kill(
+                        bad, w_user_indptr, w_user_items, alive_u, live_u,
+                        deg_i, n_wi, "extract.bitset.users_removed",
+                    )
+                    # union1d, not concatenate: a vertex queued twice
+                    # would be killed twice and double-decrement its
+                    # neighbours' degrees.
+                    frontier_i = (
+                        np.union1d(frontier_i, touched)
+                        if len(frontier_i)
+                        else touched
+                    )
+            if len(frontier_i):
+                bad = frontier_i[live_i[frontier_i]]
+                bad = bad[deg_i[bad] < item_floor]
+                frontier_i = empty
+                if len(bad):
+                    frontier_u = kill(
+                        bad, w_item_indptr, w_item_users, alive_i, live_i,
+                        deg_u, n_wu, "extract.bitset.items_removed",
+                    )
+
+    def compact(live_su, live_si, indptr, indices):
+        """The live subgraph of the current space, rank-compressed.
+
+        The input adjacency keeps every edge of the space it was built
+        in, so SquarePruning wedges expanded through it would mostly
+        visit dead vertices (a hot item retains its millions of pruned
+        casual users).  One compaction per round — gathering only the
+        *live users'* rows, which are short by the time any square pass
+        runs — bounds all square work by the live edge count, the same
+        shrinkage the sparse engine gets from physically slicing its
+        matrix.  Returns the kept vertices (ids in the *input* space)
+        plus fresh CSR + CSC arrays over their ranks.
+        """
+        alive_su = np.flatnonzero(live_su)
+        alive_si = np.flatnonzero(live_si)
+        rank_si = np.full(len(live_si), -1, dtype=np.int64)
+        rank_si[alive_si] = np.arange(len(alive_si), dtype=np.int64)
+        neighbors, lens, _ = gather(alive_su, indptr, indices)
+        keep = live_si[neighbors]
+        rows = np.repeat(np.arange(len(alive_su), dtype=np.int64), lens)[keep]
+        cols = rank_si[neighbors[keep]]
+        c_user_indptr = np.zeros(len(alive_su) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=len(alive_su)), out=c_user_indptr[1:])
+        order = np.argsort(cols, kind="stable")
+        c_item_indptr = np.zeros(len(alive_si) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=len(alive_si)), out=c_item_indptr[1:])
+        return (
+            alive_su, alive_si,
+            c_user_indptr, cols, c_item_indptr, rows[order],
+        )
+
+    def square_bad(dirty, indptr, indices, other_indptr, other_indices,
+                   n_self, common_floor, k_needed):
+        """Compact-space vertices failing Lemma 2 on the alive subgraph.
+
+        Strong-partner counts come from expanding each dirty vertex's
+        two-hop wedges and bin-counting co-vertex multiplicities; the
+        diagonal self term (``count == degree``) falls out of the wedges
+        through the vertex's own edges, matching the sparse engine's Gram
+        diagonal semantics exactly.  Work is blocked two ways: the counts
+        matrix at ``_TARGET_CELLS`` cells, wedge expansion at
+        ``_WEDGE_LIMIT`` entries.
+        """
+        if len(dirty) == 0:
+            return empty
+        block = max(1, _TARGET_CELLS // max(n_self, 1))
+        bad_chunks = []
+        for start in range(0, len(dirty), block):
+            blk = dirty[start : start + block]
+            mid, lens, _ = gather(blk, indptr, indices)
+            seg = np.repeat(np.arange(len(blk), dtype=np.int64), lens)
+            counts = np.zeros(len(blk) * n_self, dtype=np.int64)
+            mid_lens = other_indptr[mid + 1] - other_indptr[mid]
+            total_wedges = int(mid_lens.sum())
+            if total_wedges:
+                boundaries = np.searchsorted(
+                    np.cumsum(mid_lens),
+                    np.arange(
+                        _WEDGE_LIMIT, total_wedges + _WEDGE_LIMIT, _WEDGE_LIMIT
+                    ),
+                )
+                pieces = np.unique(np.concatenate(([0], boundaries, [len(mid)])))
+                for lo, hi in zip(pieces[:-1], pieces[1:]):
+                    if lo == hi:
+                        continue
+                    co, co_lens, _ = gather(mid[lo:hi], other_indptr, other_indices)
+                    counts += np.bincount(
+                        np.repeat(seg[lo:hi], co_lens) * n_self + co,
+                        minlength=len(blk) * n_self,
+                    )
+            strong = (counts.reshape(len(blk), n_self) >= common_floor).sum(axis=1)
+            bad_chunks.append(blk[strong < k_needed])
+        return np.concatenate(bad_chunks)
+
+    def c_neighbors(vertices, indptr, indices, n_other):
+        """Unique neighbours in the compact graph (mask dedup)."""
+        if len(vertices) == 0:
+            return empty
+        neighbors, _, _ = gather(vertices, indptr, indices)
+        if len(neighbors) == 0:
+            return empty
+        mask = np.zeros(n_other, dtype=bool)
+        mask[neighbors] = True
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------
+    # Round 0: one vectorized CorePruning floor pass over the full axes.
+    # This is the only work ever done at full graph width — a mass kill
+    # of the casual majority straight off the static ``indptr`` degrees,
+    # with no per-wave cascade (cascading here would gather the dead
+    # majority's edges and bincount over million-wide axes every wave).
+    # The floor conditions are monotone, so finishing the cascade later,
+    # in compact space, reaches the identical fixpoint.
+    # ------------------------------------------------------------------
+    setup_start = time.perf_counter()
+    mask_u = np.diff(user_indptr) >= user_floor
+    mask_i = np.diff(item_indptr) >= item_floor
+    # The floor pass streams both indptr axes; count it as traffic so the
+    # roofline report's round 0 reflects the work actually done.
+    traffic[0] += n_users + n_items
+    obs.count("extract.bitset.users_removed", int(n_users - mask_u.sum()))
+    obs.count("extract.bitset.items_removed", int(n_items - mask_i.sum()))
+    if not mask_u.any() or not mask_i.any():
+        obs.count("extract.fixpoint_rounds", 1)
+        return empty, empty
+    g_users, g_items, w_user_indptr, w_user_items, w_item_indptr, w_item_users = (
+        compact(mask_u, mask_i, user_indptr, user_items)
+    )
+    n_wu = len(g_users)
+    n_wi = len(g_items)
+    alive_u = _bitset_full(n_wu)
+    alive_i = _bitset_full(n_wi)
+    live_u = np.ones(n_wu, dtype=bool)
+    live_i = np.ones(n_wi, dtype=bool)
+    deg_u = np.diff(w_user_indptr)
+    deg_i = np.diff(w_item_indptr)
+    # Finish the degree cascade in compact space (items that lost their
+    # casual majority, then whatever that kills in turn).
+    core_cascade(
+        np.arange(n_wu, dtype=np.int64), np.arange(n_wi, dtype=np.int64)
+    )
+    if stats is not None:
+        stats.append(
+            {
+                "round": 0,
+                "users_killed": int(n_users - live_u.sum()),
+                "items_killed": int(n_items - live_i.sum()),
+                "alive_users": int(live_u.sum()),
+                "alive_items": int(live_i.sum()),
+                "alive_edges": int(w_user_indptr[-1]),
+                "gathered_entries": traffic[0],
+                "seconds": time.perf_counter() - setup_start,
+            }
+        )
+    # Alternate SquarePruning + CorePruning rounds to the fixpoint, each
+    # round's square pass limited to the dirty vertices on a freshly
+    # re-compacted alive subgraph.
+    dirty_u = None  # None = every alive vertex (the first square round)
+    dirty_i = None
+    rounds = 0
+    while _bitset_count(alive_u) and _bitset_count(alive_i):
+        rounds += 1
+        round_start = time.perf_counter()
+        traffic[0] = 0
+        sel_u, sel_i, c_user_indptr, c_user_items, c_item_indptr, c_item_users = (
+            compact(live_u, live_i, w_user_indptr, w_user_items)
+        )
+        if dirty_u is None:
+            dirty_cu = np.arange(len(sel_u), dtype=np.int64)
+            dirty_ci = np.arange(len(sel_i), dtype=np.int64)
+        else:
+            # Remap last round's dirty ids (previous working space) into
+            # the new ranks; vertices killed since drop out here.
+            rank_old_u = np.full(n_wu, -1, dtype=np.int64)
+            rank_old_u[sel_u] = np.arange(len(sel_u), dtype=np.int64)
+            rank_old_i = np.full(n_wi, -1, dtype=np.int64)
+            rank_old_i[sel_i] = np.arange(len(sel_i), dtype=np.int64)
+            dirty_cu = rank_old_u[dirty_u[live_u[dirty_u]]]
+            dirty_ci = rank_old_i[dirty_i[live_i[dirty_i]]]
+        g_users = g_users[sel_u]
+        g_items = g_items[sel_i]
+        n_wu = len(sel_u)
+        n_wi = len(sel_i)
+        w_user_indptr, w_user_items = c_user_indptr, c_user_items
+        w_item_indptr, w_item_users = c_item_indptr, c_item_users
+        alive_u = _bitset_full(n_wu)
+        alive_i = _bitset_full(n_wi)
+        live_u = np.ones(n_wu, dtype=bool)
+        live_i = np.ones(n_wi, dtype=bool)
+        deg_u = np.diff(w_user_indptr)
+        deg_i = np.diff(w_item_indptr)
+        # Both sides evaluate on the same alive state (simultaneous
+        # SquarePruning, exactly like the sparse engine's Gram pass).
+        bad_cu = square_bad(
+            dirty_cu, w_user_indptr, w_user_items, w_item_indptr, w_item_users,
+            n_wu, user_common_floor, params.k1,
+        )
+        bad_ci = square_bad(
+            dirty_ci, w_item_indptr, w_item_users, w_user_indptr, w_user_items,
+            n_wi, item_common_floor, params.k2,
+        )
+        if len(bad_cu) == 0 and len(bad_ci) == 0:
+            if stats is not None:
+                stats.append(
+                    {
+                        "round": rounds,
+                        "users_killed": 0,
+                        "items_killed": 0,
+                        "alive_users": n_wu,
+                        "alive_items": n_wi,
+                        "alive_edges": int(w_user_indptr[-1]),
+                        "gathered_entries": traffic[0],
+                        "seconds": time.perf_counter() - round_start,
+                    }
+                )
+            break
+        # Both kill sets were computed on the same alive state; killing
+        # them now (and decrementing degrees) cannot disturb the other
+        # side's already-taken decisions.
+        touched_i = (
+            kill(
+                bad_cu, w_user_indptr, w_user_items, alive_u, live_u,
+                deg_i, n_wi, "extract.bitset.users_removed",
+            )
+            if len(bad_cu)
+            else empty
+        )
+        touched_u = (
+            kill(
+                bad_ci, w_item_indptr, w_item_users, alive_i, live_i,
+                deg_u, n_wu, "extract.bitset.items_removed",
+            )
+            if len(bad_ci)
+            else empty
+        )
+        core_cascade(touched_u, touched_i)
+        # Dirty sets for the next round: everything whose alive Gram row
+        # lost a member — neighbours of killed vertices (degree change)
+        # plus co-vertices of killed vertices (common-count change).  The
+        # two-hop walks run on THIS round's working graph (a superset of
+        # what is alive now, so the dirty sets are conservative), never
+        # an adjacency with dead hot-vertex fan-out.  The round began
+        # with everything alive, so this round's kills are exactly the
+        # now-dead working ids.
+        killed_cu = np.flatnonzero(~live_u)
+        killed_ci = np.flatnonzero(~live_i)
+        items_of_killed_u = c_neighbors(
+            killed_cu, w_user_indptr, w_user_items, n_wi
+        )
+        users_of_killed_i = c_neighbors(
+            killed_ci, w_item_indptr, w_item_users, n_wu
+        )
+        co_users = c_neighbors(items_of_killed_u, w_item_indptr, w_item_users, n_wu)
+        co_items = c_neighbors(users_of_killed_i, w_user_indptr, w_user_items, n_wi)
+        dirty_u = np.union1d(users_of_killed_i, co_users)
+        dirty_u = dirty_u[live_u[dirty_u]]
+        dirty_i = np.union1d(items_of_killed_u, co_items)
+        dirty_i = dirty_i[live_i[dirty_i]]
+        if stats is not None:
+            stats.append(
+                {
+                    "round": rounds,
+                    "users_killed": len(killed_cu),
+                    "items_killed": len(killed_ci),
+                    "alive_users": n_wu,
+                    "alive_items": n_wi,
+                    "alive_edges": int(w_user_indptr[-1]),
+                    "gathered_entries": traffic[0],
+                    "seconds": time.perf_counter() - round_start,
+                }
+            )
+    obs.count("extract.fixpoint_rounds", max(rounds, 1))
+    if _bitset_count(alive_u) == 0 or _bitset_count(alive_i) == 0:
+        return empty, empty
+    return g_users[_bitset_indices(alive_u)], g_items[_bitset_indices(alive_i)]
+
+
+# ----------------------------------------------------------------------
+# Graph-level wrappers (drop-ins for the sparse engine's entry points)
+# ----------------------------------------------------------------------
+def prune_to_fixpoint_bitset(
+    graph: BipartiteGraph, params: RICDParams
+) -> tuple[set[Node], set[Node]]:
+    """Bitset fixpoint pruning; returns the surviving (users, items).
+
+    The input graph is not modified.  Like the sparse engine, the result
+    memoizes on the snapshot's derived-results cache (keyed by the pruning
+    floors), so feedback rounds and suites re-extracting the same graph
+    version pay the kernel once.  Raises :class:`RuntimeError` when numpy
+    is unavailable — call :func:`bitset_available` first to fall back
+    gracefully.
+    """
+    if np is None:
+        raise RuntimeError("numpy is not installed; use the reference engine")
+    if graph.num_users == 0 or graph.num_items == 0:
+        return set(), set()
+    snapshot = graph.indexed()
+    cache_key = ("prune_fixpoint_bitset", params.k1, params.k2, round(params.alpha, 9))
+    cached = snapshot.derived.get(cache_key)
+    if cached is not None:
+        obs.count("extract.bitset.fixpoint_cache_hits")
+        return set(cached[0]), set(cached[1])
+    obs.count("extract.bitset.fixpoint_cache_misses")
+    user_indptr, user_items = snapshot.csr_arrays()
+    item_indptr, item_users = snapshot.csc_arrays()
+    with obs.span("prune"):
+        alive_users, alive_items = prune_fixpoint_arrays(
+            user_indptr, user_items, item_indptr, item_users, params
+        )
+    obs.gauge("extract.peak_rss_mb", round(peak_rss_mb(), 1))
+    surviving_users = {snapshot.users[int(index)] for index in alive_users}
+    surviving_items = {snapshot.items[int(index)] for index in alive_items}
+    snapshot.derived[cache_key] = (
+        frozenset(surviving_users),
+        frozenset(surviving_items),
+    )
+    return surviving_users, surviving_items
+
+
+def extract_groups_bitset(
+    graph: BipartiteGraph,
+    params: RICDParams,
+    max_users: int | None = None,
+    max_items: int | None = None,
+) -> list[SuspiciousGroup]:
+    """Drop-in bitset variant of :func:`repro.core.extraction.extract_groups`."""
+    surviving_users, surviving_items = prune_to_fixpoint_bitset(graph, params)
+    survivors = graph.subgraph(surviving_users, surviving_items)
+    groups: list[SuspiciousGroup] = []
+    dropped = 0
+    with obs.span("components"):
+        for users, items in connected_components(survivors):
+            if len(users) < params.k1 or len(items) < params.k2:
+                dropped += 1
+                continue
+            if (max_users is not None and len(users) > max_users) or (
+                max_items is not None and len(items) > max_items
+            ):
+                dropped += 1
+                continue
+            groups.append(SuspiciousGroup(users=users, items=items))
+    obs.count("extract.components_dropped", dropped)
+    obs.count("extract.groups", len(groups))
+    return groups

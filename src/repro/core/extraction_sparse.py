@@ -37,7 +37,7 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     sparse = None
 
 from .. import obs
-from .._util import ceil_frac
+from .._util import ceil_frac, peak_rss_mb
 from ..config import RICDParams
 from ..graph.bipartite import BipartiteGraph
 from ..graph.views import connected_components
@@ -177,11 +177,13 @@ def prune_to_fixpoint_sparse(
             item_indices = item_indices[col_keep]
             if matrix.shape[0] == 0 or matrix.shape[1] == 0:
                 obs.count("extract.fixpoint_rounds", rounds)
+                obs.gauge("extract.peak_rss_mb", round(peak_rss_mb(), 1))
                 snapshot.derived[cache_key] = (frozenset(), frozenset())
                 return set(), set()
             if not removed:
                 break
     obs.count("extract.fixpoint_rounds", rounds)
+    obs.gauge("extract.peak_rss_mb", round(peak_rss_mb(), 1))
     surviving_users = {users[index] for index in user_indices}
     surviving_items = {items[index] for index in item_indices}
     snapshot.derived[cache_key] = (

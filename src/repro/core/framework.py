@@ -111,12 +111,15 @@ class RICDDetector:
         Extraction engine: ``"reference"`` (pure-Python Algorithm 3, the
         paper-faithful implementation), ``"sparse"`` (scipy Gram-matrix
         evaluation — same fixpoint, roughly an order of magnitude faster
-        on 10^5-edge graphs) or ``"auto"`` (sparse when scipy is installed
-        and the graph exceeds ``auto_engine_edge_threshold`` edges).
+        on 10^5-edge graphs), ``"bitset"`` (numpy packed-bitset/CSR
+        frontier kernel — same fixpoint again, another order of magnitude
+        at paper-proportioned scales) or ``"auto"`` (bitset when numpy is
+        installed and the graph exceeds ``auto_engine_edge_threshold``
+        edges, sparse when only scipy is available).
     auto_engine_edge_threshold:
         Edge count above which ``engine="auto"`` switches from the
-        reference to the sparse engine.  The 20k default is where the
-        sparse engine's fixed costs amortise on typical marketplaces;
+        reference to an accelerated engine.  The 20k default is where the
+        accelerated engines' fixed costs amortise on typical marketplaces;
         benchmarks and the CLI can tune it per workload.
     shards:
         ``> 1`` partitions the click graph into that many (at most)
@@ -194,9 +197,10 @@ class RICDDetector:
             raise ValueError(
                 f"variant must be one of {_VALID_VARIANTS}, got {self.variant!r}"
             )
-        if self.engine not in ("reference", "sparse", "auto"):
+        if self.engine not in ("reference", "sparse", "bitset", "auto"):
             raise ValueError(
-                f"engine must be 'reference', 'sparse' or 'auto', got {self.engine!r}"
+                "engine must be 'reference', 'sparse', 'bitset' or 'auto', "
+                f"got {self.engine!r}"
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")

@@ -16,6 +16,7 @@ __all__ = [
     "DuplicateNodeError",
     "SideMismatchError",
     "ClickTableError",
+    "MalformedRowError",
     "ConfigError",
     "DataGenError",
     "DetectionError",
@@ -79,6 +80,21 @@ class ClickTableError(ReproError):
         if line_number is not None:
             message = f"line {line_number}: {message}"
         super().__init__(message)
+
+
+class MalformedRowError(ClickTableError, ValueError):
+    """One click-table row failed to parse.
+
+    Subclasses :class:`ValueError` so callers that historically guarded
+    ingestion with ``except ValueError`` (the bare unpacking/int() errors
+    this class replaced) keep working, while new code can catch the
+    precise type.  Carries the 1-based ``line_number`` and the raw ``row``
+    cells for error reporting.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None, row=None):
+        self.row = row
+        super().__init__(message, line_number=line_number)
 
 
 class ConfigError(ReproError, ValueError):

@@ -48,7 +48,21 @@ class BipartiteGraph:
     1
     """
 
-    __slots__ = ("_users", "_items", "_total_clicks", "_version", "_indexed", "__weakref__")
+    __slots__ = (
+        "_users",
+        "_items",
+        "_total_clicks",
+        "_version",
+        "_indexed",
+        "_delta",
+        "__weakref__",
+    )
+
+    #: Delta-buffer backstop: past this many buffered append events the
+    #: graph falls back to plain invalidation (full rebuild on next
+    #: :meth:`indexed` call) so an unbounded append burst with no snapshot
+    #: reader cannot grow the buffer without limit.
+    _DELTA_LIMIT = 100_000
 
     def __init__(self) -> None:
         self._users: dict[Node, dict[Node, int]] = {}
@@ -56,6 +70,7 @@ class BipartiteGraph:
         self._total_clicks: int = 0
         self._version: int = 0
         self._indexed: "IndexedGraph | None" = None
+        self._delta: list | None = None
 
     # ------------------------------------------------------------------
     # Snapshot bookkeeping
@@ -71,30 +86,64 @@ class BipartiteGraph:
         return self._version
 
     def _mutated(self) -> None:
-        """Record a structural change, invalidating memoized snapshots."""
+        """Record a destructive change, invalidating memoized snapshots."""
         self._version += 1
         self._indexed = None
+        self._delta = None
+
+    def _appended(self, *events) -> None:
+        """Record one append-only mutation (new nodes / edges, increments).
+
+        Unlike :meth:`_mutated` this keeps the memoized snapshot alive and
+        buffers the events, so the next :meth:`indexed` call merges them
+        incrementally instead of re-snapshotting from scratch.  Recording
+        only starts once a snapshot exists — with nothing to maintain, the
+        buffer stays empty and the first access builds as usual.
+        """
+        self._version += 1
+        if self._indexed is None:
+            return
+        if self._delta is None:
+            self._delta = []
+        self._delta.extend(events)
+        if len(self._delta) > self._DELTA_LIMIT:
+            self._indexed = None
+            self._delta = None
 
     def indexed(self) -> "IndexedGraph":
         """The memoized :class:`~repro.graph.indexed.IndexedGraph` snapshot.
 
         The snapshot is built on first access and reused until the graph
-        mutates, so feedback rounds, suites, sweeps and benchmarks that
-        re-read the same graph pay the dict→array conversion exactly once.
-        Requires numpy; check
+        mutates.  Append-only mutation (new nodes, new edges, click
+        increments) is *maintained incrementally*: the buffered events are
+        merged into the previous snapshot with numpy array merges —
+        counted as a cache hit plus ``graph.indexed.delta_builds``, never
+        as a from-scratch miss — so append-mostly workloads (stream
+        ingestion, incremental rechecks) keep their array views warm.
+        Destructive mutation (removals, click decreases) still invalidates
+        and rebuilds.  Requires numpy; check
         :func:`repro.graph.indexed.indexed_available` to fall back to the
         dict paths gracefully.
         """
         from .indexed import IndexedGraph
 
         snapshot = self._indexed
-        if snapshot is None or snapshot.version != self._version:
-            obs.count("graph.indexed.misses")
-            with obs.span("indexed_build"):
-                snapshot = IndexedGraph.from_graph(self)
-            self._indexed = snapshot
-        else:
+        if snapshot is not None and snapshot.version == self._version:
             obs.count("graph.indexed.hits")
+            return snapshot
+        if snapshot is not None and self._delta is not None:
+            obs.count("graph.indexed.hits")
+            obs.count("graph.indexed.delta_builds")
+            with obs.span("indexed_delta"):
+                snapshot = snapshot.apply_delta(self._delta, self._version)
+            self._indexed = snapshot
+            self._delta = None
+            return snapshot
+        obs.count("graph.indexed.misses")
+        with obs.span("indexed_build"):
+            snapshot = IndexedGraph.from_graph(self)
+        self._indexed = snapshot
+        self._delta = None
         return snapshot
 
     # ------------------------------------------------------------------
@@ -104,27 +153,27 @@ class BipartiteGraph:
         """Register ``user`` with no edges.  No-op if already present."""
         if user not in self._users:
             self._users[user] = {}
-            self._mutated()
+            self._appended(("user", user))
 
     def add_item(self, item: Node) -> None:
         """Register ``item`` with no edges.  No-op if already present."""
         if item not in self._items:
             self._items[item] = {}
-            self._mutated()
+            self._appended(("item", item))
 
     def add_user_strict(self, user: Node) -> None:
         """Register ``user``; raise :class:`DuplicateNodeError` if present."""
         if user in self._users:
             raise DuplicateNodeError(user, "user")
         self._users[user] = {}
-        self._mutated()
+        self._appended(("user", user))
 
     def add_item_strict(self, item: Node) -> None:
         """Register ``item``; raise :class:`DuplicateNodeError` if present."""
         if item in self._items:
             raise DuplicateNodeError(item, "item")
         self._items[item] = {}
-        self._mutated()
+        self._appended(("item", item))
 
     def has_user(self, user: Node) -> bool:
         """Whether ``user`` is in the user partition."""
@@ -166,13 +215,20 @@ class BipartiteGraph:
         """
         if clicks <= 0:
             raise ValueError(f"clicks must be positive, got {clicks}")
+        events = []
+        if user not in self._users:
+            events.append(("user", user))
+        if item not in self._items:
+            events.append(("item", item))
         user_adj = self._users.setdefault(user, {})
         item_adj = self._items.setdefault(item, {})
-        new_count = user_adj.get(item, 0) + clicks
+        previous = user_adj.get(item, 0)
+        new_count = previous + clicks
         user_adj[item] = new_count
         item_adj[user] = new_count
         self._total_clicks += clicks
-        self._mutated()
+        events.append(("edge", user, item, clicks, previous == 0))
+        self._appended(*events)
 
     def set_click(self, user: Node, item: Node, clicks: int) -> None:
         """Set the edge weight exactly; ``clicks = 0`` deletes the edge."""
@@ -186,12 +242,24 @@ class BipartiteGraph:
                 self._total_clicks -= current
                 self._mutated()
             return
+        events = []
+        if user not in self._users:
+            events.append(("user", user))
+        if item not in self._items:
+            events.append(("item", item))
         user_adj = self._users.setdefault(user, {})
         item_adj = self._items.setdefault(item, {})
         user_adj[item] = clicks
         item_adj[user] = clicks
         self._total_clicks += clicks - current
-        self._mutated()
+        if clicks >= current:
+            if clicks > current:
+                events.append(("edge", user, item, clicks - current, current == 0))
+            self._appended(*events)
+        else:
+            # Weight decrease is destructive for the array snapshot's
+            # append-only delta; fall back to full invalidation.
+            self._mutated()
 
     def remove_edge(self, user: Node, item: Node) -> None:
         """Delete the edge between ``user`` and ``item`` if present."""
@@ -331,6 +399,7 @@ class BipartiteGraph:
         self._total_clicks = state["_total_clicks"]
         self._version = state.get("_version", 0)
         self._indexed = None
+        self._delta = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BipartiteGraph):

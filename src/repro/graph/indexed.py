@@ -8,14 +8,25 @@ partition, flat edge arrays, and a CSR biadjacency.  Rebuilding those from
 the dicts on every call is the hot-path tax this module removes.
 
 :class:`IndexedGraph` interns users and items into contiguous int ids
-(row/column order is sorted-by-``str``, matching the historical CSR
-ordering of the sparse engine), stores the edge list as three parallel
-numpy arrays, and lazily caches the derived aggregates (degrees, total
-clicks, the binary CSR biadjacency).  Snapshots are *frozen*: they never
-observe later graph mutation.  :meth:`BipartiteGraph.indexed` memoizes the
-snapshot against the graph's mutation version, so the common
-build-once/detect-many workloads (feedback rounds, suites, sweeps,
-benchmarks) pay the dict→array conversion exactly once.
+(the *base* row/column order is sorted-by-``str``, matching the historical
+CSR ordering of the sparse engine; nodes appended through
+:meth:`apply_delta` take the next free ids), stores the edge list as three
+parallel numpy arrays in **canonical order** — sorted by ``(row, column)``
+with no duplicate pairs — and lazily caches the derived aggregates
+(degrees, total clicks, the binary CSR biadjacency, scipy-free CSR/CSC
+index arrays).  Snapshots are *frozen*: they never observe later graph
+mutation.  :meth:`BipartiteGraph.indexed` memoizes the snapshot against
+the graph's mutation version, so the common build-once/detect-many
+workloads (feedback rounds, suites, sweeps, benchmarks) pay the
+dict→array conversion exactly once.
+
+Append-mostly mutation no longer forces a from-scratch rebuild:
+:meth:`apply_delta` merges a buffered batch of appends (new nodes, new
+edges, click increments) into a fresh snapshot with numpy merge
+operations — O(delta log delta) sorting plus one O(edges) array merge —
+instead of the Python per-edge loop of :meth:`from_graph`.  The merge is
+the delta buffer's periodic compaction: the produced snapshot is again
+canonical, so chains of delta applications never degrade lookups.
 
 numpy is an optional accelerator exactly like scipy is for the sparse
 engine: when it is missing, :func:`indexed_available` returns ``False``
@@ -93,6 +104,8 @@ class IndexedGraph:
         "clicks",
         "version",
         "_csr",
+        "_csr_arrays",
+        "_csc_arrays",
         "_user_degrees",
         "_item_degrees",
         "_user_clicks",
@@ -109,16 +122,25 @@ class IndexedGraph:
         item_idx,
         clicks,
         version: int = 0,
+        *,
+        user_index: "dict[Node, int] | None" = None,
+        item_index: "dict[Node, int] | None" = None,
     ) -> None:
         self.users = users
         self.items = items
-        self.user_index: dict[Node, int] = {user: i for i, user in enumerate(users)}
-        self.item_index: dict[Node, int] = {item: i for i, item in enumerate(items)}
+        self.user_index: dict[Node, int] = (
+            {user: i for i, user in enumerate(users)} if user_index is None else user_index
+        )
+        self.item_index: dict[Node, int] = (
+            {item: i for i, item in enumerate(items)} if item_index is None else item_index
+        )
         self.user_idx = user_idx
         self.item_idx = item_idx
         self.clicks = clicks
         self.version = version
         self._csr = None
+        self._csr_arrays = None
+        self._csc_arrays = None
         self._user_degrees = None
         self._item_degrees = None
         self._user_clicks = None
@@ -130,6 +152,29 @@ class IndexedGraph:
         #: whole cache dies with the snapshot on graph mutation, so
         #: invalidation is structural rather than per-consumer.
         self.derived: dict = {}
+
+    @staticmethod
+    def _canonicalize(user_idx, item_idx, clicks, n_items: int):
+        """Sort edges by ``(row, column)`` and coalesce duplicate pairs.
+
+        Duplicate ``(user, item)`` pairs sum their clicks — the
+        :meth:`~repro.graph.bipartite.BipartiteGraph.add_click`
+        accumulation semantics — which is what chunked ingestion needs
+        when one edge's records straddle a chunk boundary.
+        """
+        keys = user_idx.astype(np.int64) * max(n_items, 1) + item_idx
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        if len(keys) and (keys[1:] == keys[:-1]).any():
+            unique_keys, starts = np.unique(keys, return_index=True)
+            clicks = np.add.reduceat(clicks[order], starts)
+            user_idx = (unique_keys // max(n_items, 1)).astype(np.int64)
+            item_idx = (unique_keys % max(n_items, 1)).astype(np.int64)
+        else:
+            user_idx = user_idx[order]
+            item_idx = item_idx[order]
+            clicks = clicks[order]
+        return user_idx, item_idx, clicks
 
     @classmethod
     def from_graph(cls, graph: "BipartiteGraph") -> "IndexedGraph":
@@ -150,9 +195,153 @@ class IndexedGraph:
                 item_idx[cursor] = item_index[item]
                 clicks[cursor] = count
                 cursor += 1
+        # Rows arrive ascending (users are iterated in order) but columns
+        # follow dict insertion order; one lexsort establishes the
+        # canonical (row, column) edge order every array consumer — the
+        # CSR/CSC accessors, the delta merge — relies on.
+        user_idx, item_idx, clicks = cls._canonicalize(
+            user_idx, item_idx, clicks, len(items)
+        )
         snapshot = cls(users, items, user_idx, item_idx, clicks, graph.version)
         snapshot.item_index = item_index
         return snapshot
+
+    @classmethod
+    def from_arrays(
+        cls,
+        users: list[Node],
+        items: list[Node],
+        user_idx,
+        item_idx,
+        clicks,
+        version: int = 0,
+    ) -> "IndexedGraph":
+        """Build a snapshot directly from parallel edge arrays.
+
+        The out-of-core entry point: chunked ingestion and the memmap
+        loaders assemble integer edge arrays without ever materialising a
+        dict-of-dict :class:`~repro.graph.bipartite.BipartiteGraph`.
+        Edges are canonicalized (sorted by ``(row, column)``, duplicate
+        pairs coalesced by summing clicks); the id lists are taken as
+        given — element ``i`` names row/column ``i``.
+        """
+        if np is None:
+            raise RuntimeError("numpy is not installed; use the dict paths")
+        user_idx = np.asarray(user_idx, dtype=np.int64)
+        item_idx = np.asarray(item_idx, dtype=np.int64)
+        clicks = np.asarray(clicks, dtype=np.int64)
+        if not (len(user_idx) == len(item_idx) == len(clicks)):
+            raise ValueError("edge arrays must have identical lengths")
+        if len(user_idx):
+            if int(user_idx.max()) >= len(users) or int(user_idx.min()) < 0:
+                raise ValueError("user_idx out of range for the id list")
+            if int(item_idx.max()) >= len(items) or int(item_idx.min()) < 0:
+                raise ValueError("item_idx out of range for the id list")
+        user_idx, item_idx, clicks = cls._canonicalize(
+            user_idx, item_idx, clicks, len(items)
+        )
+        return cls(list(users), list(items), user_idx, item_idx, clicks, version)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (append-mostly mutation)
+    # ------------------------------------------------------------------
+    def apply_delta(self, events: list, version: int) -> "IndexedGraph":
+        """A new snapshot with a batch of append events merged in.
+
+        ``events`` is the :class:`~repro.graph.bipartite.BipartiteGraph`
+        delta buffer: ``("user", node)`` / ``("item", node)`` register a
+        new node, ``("edge", user, item, delta_clicks, is_new)`` appends a
+        new edge or increments an existing one.  Events replay in
+        recording order, so an edge may reference a node introduced
+        earlier in the same batch.
+
+        The result is a fresh, canonical, independently cached snapshot —
+        the original is untouched (frozen-snapshot contract), and chained
+        deltas stay O(edges) per application because each merge compacts
+        the buffer back into sorted-unique form.
+        """
+        if not events:
+            # Version-only bump (e.g. a set_click that wrote the same
+            # weight): share every immutable part, refresh the version.
+            return IndexedGraph(
+                self.users,
+                self.items,
+                self.user_idx,
+                self.item_idx,
+                self.clicks,
+                version,
+                user_index=self.user_index,
+                item_index=self.item_index,
+            )
+        users = list(self.users)
+        items = list(self.items)
+        user_index = dict(self.user_index)
+        item_index = dict(self.item_index)
+        rows: list[int] = []
+        cols: list[int] = []
+        weights: list[int] = []
+        fresh: list[bool] = []
+        for event in events:
+            kind = event[0]
+            if kind == "user":
+                user_index[event[1]] = len(users)
+                users.append(event[1])
+            elif kind == "item":
+                item_index[event[1]] = len(items)
+                items.append(event[1])
+            elif kind == "edge":
+                _, user, item, delta_clicks, is_new = event
+                rows.append(user_index[user])
+                cols.append(item_index[item])
+                weights.append(delta_clicks)
+                fresh.append(is_new)
+            else:  # pragma: no cover - defensive against future event kinds
+                raise ValueError(f"unknown delta event kind {kind!r}")
+
+        user_idx, item_idx, clicks = self.user_idx, self.item_idx, self.clicks
+        if rows:
+            mult = max(len(items), 1)
+            base_keys = user_idx.astype(np.int64) * mult + item_idx
+            d_rows = np.asarray(rows, dtype=np.int64)
+            d_cols = np.asarray(cols, dtype=np.int64)
+            d_weights = np.asarray(weights, dtype=np.int64)
+            d_fresh = np.asarray(fresh, dtype=bool)
+            d_keys = d_rows * mult + d_cols
+            # Coalesce repeated events on the same edge; the stable sort
+            # keeps recording order inside each group, so the group's
+            # first event decides whether the edge is new to this batch.
+            order = np.argsort(d_keys, kind="stable")
+            group_keys, starts = np.unique(d_keys[order], return_index=True)
+            group_weights = np.add.reduceat(d_weights[order], starts)
+            group_fresh = d_fresh[order][starts]
+
+            patch_keys = group_keys[~group_fresh]
+            if len(patch_keys):
+                positions = np.searchsorted(base_keys, patch_keys)
+                if positions.max(initial=-1) >= len(base_keys) or not np.array_equal(
+                    base_keys[positions], patch_keys
+                ):
+                    raise RuntimeError(
+                        "delta increment references an edge missing from the snapshot"
+                    )
+                clicks = clicks.copy()
+                clicks[positions] += group_weights[~group_fresh]
+            insert_keys = group_keys[group_fresh]
+            if len(insert_keys):
+                positions = np.searchsorted(base_keys, insert_keys)
+                user_idx = np.insert(user_idx, positions, insert_keys // mult)
+                item_idx = np.insert(item_idx, positions, insert_keys % mult)
+                clicks = np.insert(clicks, positions, group_weights[group_fresh])
+        return IndexedGraph(
+            users,
+            items,
+            user_idx,
+            item_idx,
+            clicks,
+            version,
+            user_index=user_index,
+            item_index=item_index,
+        )
 
     # ------------------------------------------------------------------
     # Scale
@@ -223,6 +412,44 @@ class IndexedGraph:
         if self._item_clicks_sorted is None:
             self._item_clicks_sorted = np.sort(self.item_total_clicks())[::-1]
         return self._item_clicks_sorted
+
+    # ------------------------------------------------------------------
+    # scipy-free CSR / CSC index arrays
+    # ------------------------------------------------------------------
+    def csr_arrays(self):
+        """``(indptr, item_idx)`` — user-major CSR adjacency, cached.
+
+        Because the edge arrays are canonical (sorted by ``(row, column)``,
+        unique), the column index array is ``item_idx`` itself; only the
+        ``int64[num_users + 1]`` row pointer is derived.  Row ``u``'s
+        distinct items are ``item_idx[indptr[u]:indptr[u + 1]]``, columns
+        ascending.  Needs numpy only — this is the bitset engine's and the
+        memmap writer's view of the graph.
+        """
+        if self._csr_arrays is None:
+            indptr = np.zeros(self.num_users + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self.user_idx, minlength=self.num_users),
+                out=indptr[1:],
+            )
+            self._csr_arrays = (indptr, self.item_idx)
+        return self._csr_arrays
+
+    def csc_arrays(self):
+        """``(indptr, user_idx_by_column)`` — item-major CSC adjacency, cached.
+
+        Column ``i``'s distinct users are
+        ``user_idx_by_column[indptr[i]:indptr[i + 1]]``, rows ascending.
+        """
+        if self._csc_arrays is None:
+            order = np.argsort(self.item_idx, kind="stable")
+            indptr = np.zeros(self.num_items + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self.item_idx, minlength=self.num_items),
+                out=indptr[1:],
+            )
+            self._csc_arrays = (indptr, np.asarray(self.user_idx)[order])
+        return self._csc_arrays
 
     # ------------------------------------------------------------------
     # CSR biadjacency

@@ -190,9 +190,10 @@ class Extraction:
 
     Owns the engine-selection logic formerly buried in
     ``RICDDetector._extract``: ``reference`` (pure-Python Algorithm 3),
-    ``sparse`` (scipy Gram-matrix fixpoint) or ``auto`` (sparse when scipy
-    is installed and the working graph exceeds ``auto_edge_threshold``
-    edges).
+    ``sparse`` (scipy Gram-matrix fixpoint), ``bitset`` (numpy packed-
+    bitset/CSR frontier kernel) or ``auto`` (bitset when numpy is
+    installed and the working graph exceeds ``auto_edge_threshold``
+    edges, falling back to sparse when only scipy is available).
     """
 
     engine: str = "reference"
@@ -204,17 +205,28 @@ class Extraction:
         self, graph: "BipartiteGraph", params: "RICDParams"
     ) -> "list[SuspiciousGroup]":
         """Run the selected engine on ``graph``."""
-        # Late imports keep scipy optional and the sparse engine patchable.
+        # Late imports keep numpy/scipy optional and the engines patchable.
         from ..core.extraction import extract_groups
+        from ..core.extraction_bitset import bitset_available, extract_groups_bitset
         from ..core.extraction_sparse import extract_groups_sparse, sparse_available
 
-        use_sparse = self.engine == "sparse" or (
-            self.engine == "auto"
-            and sparse_available()
-            and graph.num_edges > self.auto_edge_threshold
-        )
-        obs.gauge("detect.engine", "sparse" if use_sparse else "reference")
-        if use_sparse:
+        selected = self.engine
+        if selected == "auto":
+            if graph.num_edges > self.auto_edge_threshold:
+                if bitset_available():
+                    selected = "bitset"
+                elif sparse_available():
+                    selected = "sparse"
+                else:
+                    selected = "reference"
+            else:
+                selected = "reference"
+        obs.gauge("detect.engine", selected)
+        if selected == "bitset":
+            if not bitset_available():
+                raise RuntimeError("engine='bitset' requires numpy")
+            return extract_groups_bitset(graph, params)
+        if selected == "sparse":
             if not sparse_available():
                 raise RuntimeError("engine='sparse' requires scipy")
             return extract_groups_sparse(graph, params)

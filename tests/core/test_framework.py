@@ -168,12 +168,15 @@ class TestEngines:
         with pytest.raises(ValueError):
             RICDDetector(engine="gpu")
 
-    @pytest.mark.parametrize("engine", ["sparse", "auto"])
+    @pytest.mark.parametrize("engine", ["sparse", "bitset", "auto"])
     def test_engines_agree_with_reference(self, small, engine):
+        from repro.core.extraction_bitset import bitset_available
         from repro.core.extraction_sparse import sparse_available
 
         if engine == "sparse" and not sparse_available():
             pytest.skip("scipy not installed")
+        if engine == "bitset" and not bitset_available():
+            pytest.skip("numpy not installed")
         reference = detector(engine="reference").detect(small.graph)
         other = detector(engine=engine).detect(small.graph)
         assert other.suspicious_users == reference.suspicious_users
@@ -182,17 +185,17 @@ class TestEngines:
     def test_auto_engine_threshold_tunable(self, small):
         from unittest import mock
 
-        from repro.core import extraction_sparse
+        from repro.core import extraction_bitset
 
-        if not extraction_sparse.sparse_available():
-            pytest.skip("scipy not installed")
+        if not extraction_bitset.bitset_available():
+            pytest.skip("numpy not installed")
         # The small scenario sits under the 20k default, so auto stays on
-        # the reference engine; dropping the field flips it to sparse.
+        # the reference engine; dropping the field promotes to bitset.
         assert small.graph.num_edges < RICDDetector().auto_engine_edge_threshold
         with mock.patch.object(
-            extraction_sparse,
-            "extract_groups_sparse",
-            wraps=extraction_sparse.extract_groups_sparse,
+            extraction_bitset,
+            "extract_groups_bitset",
+            wraps=extraction_bitset.extract_groups_bitset,
         ) as spy:
             detector(engine="auto").detect(small.graph)
             assert spy.call_count == 0

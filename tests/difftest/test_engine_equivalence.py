@@ -20,6 +20,7 @@ import pytest
 from repro import obs
 from repro.config import RICDParams
 from repro.core.extraction import extract_groups
+from repro.core.extraction_bitset import bitset_available, extract_groups_bitset
 from repro.core.extraction_sparse import extract_groups_sparse, sparse_available
 from repro.core.framework import RICDDetector
 from repro.eval import run_suite
@@ -53,6 +54,7 @@ def _result_key(result):
 
 
 needs_scipy = pytest.mark.skipif(not sparse_available(), reason="scipy not installed")
+needs_numpy = pytest.mark.skipif(not bitset_available(), reason="numpy not installed")
 
 
 class TestEngineEquivalence:
@@ -63,11 +65,19 @@ class TestEngineEquivalence:
         sparse = extract_groups_sparse(scenario.graph, params)
         assert _group_set(reference) == _group_set(sparse)
 
+    @needs_numpy
+    def test_bitset_extraction_identical_groups(self, scenario):
+        params = RICDParams(k1=5, k2=5, t_hot=60, t_click=12)
+        reference = extract_groups(scenario.graph, params)
+        bitset = extract_groups_bitset(scenario.graph, params)
+        assert _group_set(reference) == _group_set(bitset)
+
     @needs_scipy
+    @needs_numpy
     def test_full_detector_identical_across_engines(self, scenario, shard_count):
         params = RICDParams(k1=5, k2=5)
         keys = {}
-        for engine in ("reference", "sparse", "auto"):
+        for engine in ("reference", "sparse", "bitset", "auto"):
             detector = RICDDetector(
                 params=params,
                 engine=engine,
@@ -75,7 +85,9 @@ class TestEngineEquivalence:
                 shards=shard_count,
             )
             keys[engine] = _result_key(detector.detect(scenario.graph))
-        assert keys["reference"] == keys["sparse"] == keys["auto"]
+        assert (
+            keys["reference"] == keys["sparse"] == keys["bitset"] == keys["auto"]
+        )
 
     @needs_scipy
     def test_auto_threshold_does_not_change_output(self, scenario, shard_count):

@@ -3,6 +3,8 @@
 import pickle
 
 import pytest
+
+from repro import obs
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -150,3 +152,71 @@ class TestHelpers:
         assert matrix.shape == (snapshot.num_users, snapshot.num_items)
         assert matrix.sum() == snapshot.num_edges
         assert set(matrix.data.tolist()) <= {1}
+
+
+class TestIncrementalMaintenance:
+    """Append-only mutation maintains the snapshot; it never re-snapshots."""
+
+    def _snapshot_table(self, snapshot):
+        return {
+            (snapshot.users[int(u)], snapshot.items[int(i)]): int(c)
+            for u, i, c in zip(
+                snapshot.user_idx, snapshot.item_idx, snapshot.clicks
+            )
+        }
+
+    def test_appends_never_miss(self, simple_graph):
+        simple_graph.indexed()  # build once
+        with obs.recording(obs.Recorder()) as recorder:
+            for step in range(5):
+                simple_graph.add_click(f"new_u{step}", "new_item", 2)
+                simple_graph.add_click("u1", "i1", 1)  # increment existing
+                simple_graph.indexed()
+        assert recorder.counters.get("graph.indexed.misses", 0) == 0
+        assert recorder.counters["graph.indexed.delta_builds"] == 5
+        assert recorder.counters["graph.indexed.hits"] == 5
+
+    def test_delta_snapshot_equals_rebuild(self, simple_graph):
+        simple_graph.indexed()
+        simple_graph.add_click("delta_u", "delta_i", 7)
+        simple_graph.add_click("u1", "i1", 3)
+        simple_graph.add_user("idle_account")
+        maintained = simple_graph.indexed()
+        rebuilt = IndexedGraph.from_graph(simple_graph)
+        assert maintained.version == simple_graph.version
+        assert set(maintained.users) == set(rebuilt.users)
+        assert set(maintained.items) == set(rebuilt.items)
+        assert self._snapshot_table(maintained) == self._snapshot_table(rebuilt)
+
+    def test_destructive_mutation_still_rebuilds(self, simple_graph):
+        simple_graph.indexed()
+        simple_graph.remove_user("u1")
+        with obs.recording(obs.Recorder()) as recorder:
+            simple_graph.indexed()
+        assert recorder.counters["graph.indexed.misses"] == 1
+
+    def test_chained_deltas_stay_canonical(self, simple_graph):
+        params_probe = simple_graph.indexed()
+        del params_probe
+        for step in range(4):
+            simple_graph.add_click(f"burst{step}", f"bi{step % 2}", 1)
+            snapshot = simple_graph.indexed()
+            # Canonical edge-array invariant after every merge.
+            keys = (
+                snapshot.user_idx.astype("int64") * max(snapshot.num_items, 1)
+                + snapshot.item_idx
+            )
+            assert (keys[1:] > keys[:-1]).all()
+
+    def test_buffer_backstop_falls_back_to_rebuild(self, simple_graph):
+        simple_graph.indexed()
+        original_limit = type(simple_graph)._DELTA_LIMIT
+        try:
+            type(simple_graph)._DELTA_LIMIT = 3
+            for step in range(6):
+                simple_graph.add_click(f"flood{step}", "hot", 1)
+            with obs.recording(obs.Recorder()) as recorder:
+                simple_graph.indexed()
+            assert recorder.counters["graph.indexed.misses"] == 1
+        finally:
+            type(simple_graph)._DELTA_LIMIT = original_limit

@@ -94,3 +94,188 @@ class TestWrite:
         path = tmp_path / "out.tsv"
         write_click_table(simple_graph, path, delimiter="\t")
         assert read_click_table(path) == simple_graph
+
+
+# ----------------------------------------------------------------------
+# Delimiter sniffing, typed malformed-row errors, chunked/array IO
+# ----------------------------------------------------------------------
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MalformedRowError
+from repro.graph.io import (
+    _sniff_delimiter,
+    read_click_table_indexed,
+    read_graph_memmap,
+    read_graph_npz,
+    write_graph_memmap,
+    write_graph_npz,
+)
+
+
+
+def edge_table(snapshot):
+    """A snapshot's click table as an id-keyed dict (order-free compare)."""
+    return {
+        (snapshot.users[int(u)], snapshot.items[int(i)]): int(c)
+        for u, i, c in zip(snapshot.user_idx, snapshot.item_idx, snapshot.clicks)
+    }
+
+
+def graph_table(graph):
+    return {(user, item): clicks for user, item, clicks in graph.edges()}
+
+
+class TestDelimiterSniffing:
+    def test_tab_in_content_wins(self):
+        assert _sniff_delimiter("u1\ti1\t2\n") == "\t"
+
+    def test_comma_line_stays_comma(self):
+        assert _sniff_delimiter("u1,i1,2\n") == ","
+
+    def test_single_column_defaults_to_comma(self):
+        assert _sniff_delimiter("justonecolumn\n") == ","
+
+    def test_whitespace_only_line_defaults_to_comma(self):
+        assert _sniff_delimiter(" \t \n") == ","
+
+    def test_trailing_tab_damage_does_not_flip_csv(self):
+        # A comma row with trailing-tab damage must stay comma-separated.
+        assert _sniff_delimiter("u1,i1,2\t\n") == ","
+
+    def test_comment_with_tab_does_not_vote(self, tmp_path):
+        path = write(tmp_path, "# a\tcomment\tfull\tof\ttabs\nu1,i1,3\n")
+        graph = read_click_table(path)
+        assert graph.get_click("u1", "i1") == 3
+
+    def test_single_column_line_raises_not_misparses(self, tmp_path):
+        path = write(tmp_path, "justonecolumn\n")
+        with pytest.raises(MalformedRowError):
+            read_click_table(path)
+
+
+class TestMalformedRowError:
+    def test_is_value_error_and_click_table_error(self, tmp_path):
+        path = write(tmp_path, "u1,i1,3\nu2,i2\n")
+        with pytest.raises(ValueError):
+            read_click_table(path)
+        with pytest.raises(ClickTableError):
+            read_click_table(path)
+
+    def test_carries_line_number_and_row(self, tmp_path):
+        path = write(tmp_path, "u1,i1,3\nu2,i2,many\n")
+        with pytest.raises(MalformedRowError) as excinfo:
+            read_click_table(path)
+        assert excinfo.value.line_number == 2
+        assert excinfo.value.row == ["u2", "i2", "many"]
+
+    def test_header_after_comments_still_detected(self, tmp_path):
+        path = write(tmp_path, "# preamble\n\nUser_ID,Item_ID,Click\nu1,i1,3\n")
+        assert read_click_table(path).get_click("u1", "i1") == 3
+
+
+class TestIndexedIngestion:
+    def test_matches_dict_path(self, tmp_path):
+        path = write(tmp_path, "u1,i1,3\nu2,i1,1\nu1,i2,2\n")
+        snapshot = read_click_table_indexed(path)
+        assert edge_table(snapshot) == graph_table(read_click_table(path))
+
+    def test_chunk_boundaries_do_not_change_result(self, tmp_path):
+        rows = "".join(f"u{n % 5},i{n % 3},{1 + n % 4}\n" for n in range(20))
+        path = write(tmp_path, rows)
+        whole = read_click_table_indexed(path)
+        chunked = read_click_table_indexed(path, chunk_records=3)
+        assert edge_table(whole) == edge_table(chunked)
+
+    def test_duplicates_coalesce_across_chunks(self, tmp_path):
+        path = write(tmp_path, "u1,i1,1\nu2,i2,5\nu1,i1,2\n")
+        snapshot = read_click_table_indexed(path, chunk_records=2)
+        assert snapshot.num_edges == 2
+        assert edge_table(snapshot)[("u1", "i1")] == 3
+
+    def test_ids_in_first_seen_order(self, tmp_path):
+        path = write(tmp_path, "zeta,i9,1\nalpha,i1,1\n")
+        snapshot = read_click_table_indexed(path)
+        assert list(snapshot.users) == ["zeta", "alpha"]
+
+    def test_empty_file(self, tmp_path):
+        snapshot = read_click_table_indexed(write(tmp_path, ""))
+        assert snapshot.num_edges == 0
+
+
+class TestArrayPersistence:
+    def test_npz_round_trip(self, tmp_path, simple_graph):
+        path = write_graph_npz(simple_graph, tmp_path / "graph.npz")
+        loaded = read_graph_npz(path)
+        assert edge_table(loaded) == graph_table(simple_graph)
+
+    def test_npz_suffix_added(self, tmp_path, simple_graph):
+        path = write_graph_npz(simple_graph, tmp_path / "graph")
+        assert path.suffix == ".npz" and path.exists()
+
+    def test_memmap_round_trip(self, tmp_path, simple_graph):
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        loaded = read_graph_memmap(directory)
+        assert edge_table(loaded) == graph_table(simple_graph)
+
+    def test_memmap_arrays_are_memory_mapped(self, tmp_path, simple_graph):
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        loaded = read_graph_memmap(directory)
+        assert isinstance(loaded.user_idx, np.memmap)
+        eager = read_graph_memmap(directory, mmap=False)
+        assert not isinstance(eager.user_idx, np.memmap)
+
+    def test_memmap_reload_extraction_equivalence(self, tmp_path, simple_graph):
+        """CSR/CSC built off the memmap equal the in-memory snapshot's."""
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        loaded = read_graph_memmap(directory)
+        live = simple_graph.indexed()
+        for built, expected in zip(loaded.csr_arrays(), live.csr_arrays()):
+            assert np.array_equal(built, expected)
+        for built, expected in zip(loaded.csc_arrays(), live.csc_arrays()):
+            assert np.array_equal(built, expected)
+
+    def test_rejects_foreign_directory(self, tmp_path):
+        (tmp_path / "meta.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ClickTableError):
+            read_graph_memmap(tmp_path)
+
+    def test_rejects_meta_id_mismatch(self, tmp_path, simple_graph):
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        meta_path = directory / "meta.json"
+        import json
+
+        meta = json.loads(meta_path.read_text())
+        meta["num_users"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ClickTableError):
+            read_graph_memmap(directory)
+
+
+click_records_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9).map(lambda n: f"u{n}"),
+        st.integers(min_value=0, max_value=9).map(lambda n: f"i{n}"),
+        st.integers(min_value=1, max_value=5),
+    ),
+    max_size=40,
+)
+
+
+@given(click_records_strategy)
+@settings(max_examples=40, deadline=None)
+def test_property_text_and_array_round_trips_agree(tmp_path_factory, records):
+    """write → read agrees across the dict, chunked and npz paths."""
+    graph = BipartiteGraph()
+    for user, item, clicks in records:
+        graph.add_click(user, item, clicks)
+    tmp_path = tmp_path_factory.mktemp("roundtrip")
+    table = tmp_path / "clicks.csv"
+    write_click_table(graph, table)
+    via_dict = read_click_table(table)
+    via_arrays = read_click_table_indexed(table, chunk_records=7)
+    assert via_dict == graph
+    assert edge_table(via_arrays) == graph_table(graph)
+    npz = write_graph_npz(graph, tmp_path / "graph.npz")
+    assert edge_table(read_graph_npz(npz)) == graph_table(graph)
