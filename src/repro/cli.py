@@ -9,6 +9,8 @@ Usage::
     ricd detect clicks.csv          # run RICD on a real click table
     ricd detect clicks.csv --k1 5 --k2 5 --output findings
     ricd detect clicks.csv --shards 4 --jobs 4   # component-sharded detection
+    ricd serve --replay clicks.csv  # stream the table through the online service
+    ricd serve --replay clicks.csv --rate 50000 --max-batch 2000
 """
 
 from __future__ import annotations
@@ -155,6 +157,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="prefix for <prefix>_users.csv / <prefix>_items.csv result files",
     )
     _add_trace_flags(detect_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the online detection service over a replayed click stream "
+            "(micro-batch ingest, bounded-staleness rechecks)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--replay",
+        required=True,
+        metavar="CLICK_TABLE",
+        help="CSV/TSV click table replayed as a timestamped event stream",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=10_000.0,
+        help="replayed event arrival rate, events per simulated second (default 10000)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=1_000, help="events per micro-batch (default 1000)"
+    )
+    serve_parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=100_000,
+        help="bounded ingest queue size; overflow sheds oldest-first (default 100000)",
+    )
+    serve_parser.add_argument(
+        "--max-dirty",
+        type=int,
+        default=5_000,
+        help="staleness bound: dirty-region size that forces a recheck (default 5000)",
+    )
+    serve_parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=10,
+        help="staleness bound: micro-batches between rechecks (default 10)",
+    )
+    serve_parser.add_argument(
+        "--max-age",
+        type=float,
+        default=60.0,
+        help="staleness bound: simulated seconds a dirty mark may wait (default 60)",
+    )
+    serve_parser.add_argument(
+        "--checkpoints",
+        type=int,
+        default=0,
+        help=(
+            "evenly spaced exact synchronization points during the replay; each "
+            "verifies the streamed state against a one-shot batch detection "
+            "(default 0: final checkpoint only)"
+        ),
+    )
+    serve_parser.add_argument("--k1", type=int, default=10, help="min group users")
+    serve_parser.add_argument("--k2", type=int, default=10, help="min group items")
+    serve_parser.add_argument(
+        "--engine",
+        choices=("reference", "sparse", "bitset", "auto"),
+        default="auto",
+        help="extraction engine for rechecks (default auto)",
+    )
+    _add_trace_flags(serve_parser)
     return parser
 
 
@@ -285,6 +353,115 @@ def _run_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile(values: list, fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``ricd serve`` subcommand body: a deterministic stream replay."""
+    import time as _time
+
+    from .core.framework import RICDDetector
+    from .graph.bipartite import BipartiteGraph
+    from .serve import (
+        DetectionService,
+        ServeConfig,
+        SimulatedClock,
+        StalenessPolicy,
+    )
+
+    try:
+        table = read_click_table(args.replay)
+    except (OSError, ReproError) as error:
+        print(f"error: cannot load {args.replay}: {error}", file=sys.stderr)
+        return 2
+    try:
+        params = RICDParams(k1=args.k1, k2=args.k2)
+        config = ServeConfig(
+            queue_capacity=args.queue_capacity,
+            max_batch=args.max_batch,
+            staleness=StalenessPolicy(
+                max_dirty=args.max_dirty,
+                max_batches=args.max_batches,
+                max_age=args.max_age,
+            ),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    records = [
+        (user, item, table.get_click(user, item))
+        for user in sorted(table.users(), key=str)
+        for item in sorted(table.user_neighbors(user), key=str)
+    ]
+    clock = SimulatedClock()
+    service = DetectionService.over_graph(
+        BipartiteGraph(), params=params, engine=args.engine, config=config, clock=clock
+    )
+    batch_detector = RICDDetector(params=params, engine=args.engine)
+    marks = (
+        {round(len(records) * step / (args.checkpoints + 1)) for step in range(1, args.checkpoints + 1)}
+        if args.checkpoints > 0
+        else set()
+    )
+
+    with _trace_scope(args) as recorder:
+        if recorder is not None:
+            recorder.meta.update(
+                {"command": "serve", "input": str(args.replay), "rate": args.rate}
+            )
+        started = _time.perf_counter()
+        parity_failures = 0
+        for index, (user, item, clicks) in enumerate(records, start=1):
+            clock.advance_to(index / args.rate)
+            service.submit(user, item, clicks, timestamp=clock.now())
+            if len(service.queue) >= config.max_batch:
+                service.pump()
+            if index in marks:
+                streamed = service.checkpoint()
+                expected = batch_detector.detect(service.online.graph)
+                ok = (
+                    streamed.suspicious_users == expected.suspicious_users
+                    and streamed.suspicious_items == expected.suspicious_items
+                )
+                parity_failures += 0 if ok else 1
+                print(
+                    f"checkpoint @ {index} events: "
+                    f"{len(streamed.suspicious_users)} users / "
+                    f"{len(streamed.suspicious_items)} items suspicious "
+                    f"[batch parity {'ok' if ok else 'MISMATCH'}]"
+                )
+        result = service.checkpoint()
+        wall = _time.perf_counter() - started
+    snapshot = service.snapshot()
+
+    lags = service.recheck_lags
+    print(f"replayed {len(records)} events in {wall:.2f}s wall ({len(records) / max(wall, 1e-9):,.0f} events/s)")
+    print(
+        f"queue: {snapshot.queue.submitted} submitted, {snapshot.applied} ingested, "
+        f"{snapshot.queue.shed} shed (oldest-first)"
+    )
+    print(
+        f"rechecks: {snapshot.rechecks} "
+        f"(recheck lag p50 {_percentile(lags, 0.5):.1f}s / p99 {_percentile(lags, 0.99):.1f}s simulated)"
+    )
+    print(
+        f"final state: {len(result.groups)} group(s), "
+        f"{len(result.suspicious_users)} suspicious users, "
+        f"{len(result.suspicious_items)} suspicious items"
+    )
+    if snapshot.degraded or snapshot.provenance:
+        print(f"degraded serving events: {', '.join(snapshot.provenance) or 'none'}")
+    _emit_trace(recorder, args)
+    return 1 if parity_failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -297,6 +474,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "detect":
         return _run_detect(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     with _trace_scope(args) as recorder:

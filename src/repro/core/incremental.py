@@ -28,7 +28,7 @@ batch framework does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 from .. import obs
 from .._util import Stopwatch
@@ -83,9 +83,11 @@ class IncrementalRICD:
         initial_graph: BipartiteGraph,
         params: RICDParams | None = None,
         screening: ScreeningParams | None = None,
-        recheck_batches: int = 10,
+        recheck_batches: int | None = 10,
         max_group_users: int | None = 18,
         traverse_degree_cap: int | None = None,
+        engine: str = "reference",
+        time_source: Callable[[], float] | None = None,
     ):
         """``traverse_degree_cap`` bounds the dirty-region expansion: the
         BFS does not traverse *through* nodes above the cap (hub items
@@ -96,8 +98,20 @@ class IncrementalRICD:
         an order of magnitude past its bootstrap, and a cap frozen at
         ``t=0`` would silently shrink the dirty region relative to the
         marketplace.  An explicit cap stays fixed forever; pass a huge
-        value to disable the cap."""
-        if recheck_batches < 1:
+        value to disable the cap.
+
+        ``recheck_batches=None`` disables the built-in every-N-batches
+        cadence entirely: rechecks then happen only when a caller invokes
+        :meth:`recheck` — the mode the streaming service uses, where a
+        bounded-staleness scheduler owns the cadence decision.
+
+        ``time_source`` (a ``() -> float`` clock read, e.g. the serving
+        layer's :meth:`~repro.serve.clock.Clock.now`) lets the detector
+        stamp when its dirty region *started* accumulating, exposed as
+        :attr:`dirty_since` / :meth:`dirty_age` — the signal behind the
+        scheduler's ``max_age`` staleness bound.  Without one, ages read
+        as zero and only size/batch bounds can fire."""
+        if recheck_batches is not None and recheck_batches < 1:
             raise ValueError(f"recheck_batches must be >= 1, got {recheck_batches}")
         self._explicit_traverse_cap = traverse_degree_cap is not None
         if traverse_degree_cap is None:
@@ -108,8 +122,11 @@ class IncrementalRICD:
             params=params or RICDParams(),
             screening=screening or ScreeningParams(),
             max_group_users=max_group_users,
+            engine=engine,
         )
         self._recheck_batches = recheck_batches
+        self._time_source = time_source
+        self._dirty_since: float | None = None
         self._dirty_users: set[Node] = set()
         self._dirty_items: set[Node] = set()
         self._batches_since_recheck = 0
@@ -144,6 +161,39 @@ class IncrementalRICD:
         """Number of nodes awaiting a recheck."""
         return len(self._dirty_users) + len(self._dirty_items)
 
+    @property
+    def batches_since_recheck(self) -> int:
+        """Batches ingested since the last (attempted) recheck."""
+        return self._batches_since_recheck
+
+    @property
+    def dirty_since(self) -> float | None:
+        """Clock time the dirty region started accumulating, or ``None``.
+
+        Stamped from ``time_source`` when the dirty region transitions
+        from empty to non-empty; cleared when a recheck covers it.  Always
+        ``None`` without a time source.
+        """
+        return self._dirty_since
+
+    def dirty_age(self, now: float) -> float:
+        """Clock-seconds the oldest un-rechecked mark has waited (0 if clean)."""
+        if self._dirty_since is None:
+            return 0.0
+        return max(0.0, now - self._dirty_since)
+
+    def _mark_dirty(self, user: Node, item: Node) -> None:
+        """Mark both endpoints dirty, stamping the region's birth time."""
+        if (
+            self._dirty_since is None
+            and self._time_source is not None
+            and not self._dirty_users
+            and not self._dirty_items
+        ):
+            self._dirty_since = self._time_source()
+        self._dirty_users.add(user)
+        self._dirty_items.add(item)
+
     def ingest(self, batch: ClickBatch) -> DetectionResult:
         """Apply one batch; recheck the dirty region when due.
 
@@ -151,10 +201,12 @@ class IncrementalRICD:
         """
         for user, item, clicks in batch.records:
             self._graph.add_click(user, item, clicks)
-            self._dirty_users.add(user)
-            self._dirty_items.add(item)
+            self._mark_dirty(user, item)
         self._batches_since_recheck += 1
-        if self._batches_since_recheck >= self._recheck_batches:
+        if (
+            self._recheck_batches is not None
+            and self._batches_since_recheck >= self._recheck_batches
+        ):
             self.recheck()
         return self._result
 
@@ -183,8 +235,7 @@ class IncrementalRICD:
                     # re-derived thresholds away from a freshly built
                     # graph's.  The parity test pins this.
                     self._graph.remove_edge(user, item)
-            self._dirty_users.add(user)
-            self._dirty_items.add(item)
+            self._mark_dirty(user, item)
         return self.recheck()
 
     def recheck(self) -> DetectionResult:
@@ -217,8 +268,23 @@ class IncrementalRICD:
         self._result.stale = False
         self._dirty_users.clear()
         self._dirty_items.clear()
+        self._dirty_since = None
         self._batches_since_recheck = 0
         return self._result
+
+    def recheck_full(self) -> DetectionResult:
+        """Mark *everything* dirty and recheck — an exact synchronization.
+
+        With the whole graph dirty no previous group is kept and the
+        regional pass runs over the full live graph, so the refreshed
+        state equals a one-shot batch :meth:`RICDDetector.detect` on the
+        same graph (the property the checkpointed parity suite pins).
+        The streaming service calls this at checkpoints/drain; between
+        them the cheaper dirty-region rechecks serve the live result.
+        """
+        self._dirty_users.update(self._graph.users())
+        self._dirty_items.update(self._graph.items())
+        return self.recheck()
 
     def _recheck_dirty_region(self) -> DetectionResult:
         """The recheck body: regional pass + merge, no state mutation."""
@@ -228,13 +294,28 @@ class IncrementalRICD:
             # shrinks relative to it.  Explicit caps are user policy and
             # stay fixed.
             self._traverse_degree_cap = self._derive_traverse_cap(self._graph)
-        region = seed_expansion(
-            self._graph,
-            seed_users=sorted(self._dirty_users, key=str),
-            seed_items=sorted(self._dirty_items, key=str),
-            hops=2,
-            max_traverse_degree=self._traverse_degree_cap,
+        all_dirty = (
+            len(self._dirty_users) >= self._graph.num_users
+            and len(self._dirty_items) >= self._graph.num_items
+            # Length alone can lie when cleanup removed nodes that are
+            # still in the dirty sets; the O(U+V) membership sweep is
+            # negligible next to the O(E) expansion it avoids.
+            and all(user in self._dirty_users for user in self._graph.users())
+            and all(item in self._dirty_items for item in self._graph.items())
         )
+        if all_dirty:
+            # Everything is dirty (bootstrap replays, checkpoint syncs):
+            # the region IS the graph, so skip the O(E) expansion copy.
+            # The detector never mutates its input, so sharing is safe.
+            region = self._graph
+        else:
+            region = seed_expansion(
+                self._graph,
+                seed_users=sorted(self._dirty_users, key=str),
+                seed_items=sorted(self._dirty_items, key=str),
+                hops=2,
+                max_traverse_degree=self._traverse_degree_cap,
+            )
         # Thresholds are global: resolve against the full live graph, then
         # run the detector's shared module stages on the region only —
         # the same extraction/screening/size-caps chain every other

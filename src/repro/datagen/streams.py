@@ -18,7 +18,8 @@ these attacks are detected ... the more losses can be reduced").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,7 +27,13 @@ from ..core.incremental import ClickBatch, IncrementalRICD
 from ..errors import DataGenError
 from .scenario import Scenario
 
-__all__ = ["StreamConfig", "scenario_to_stream", "replay", "ReplayResult"]
+__all__ = [
+    "StreamConfig",
+    "scenario_to_stream",
+    "scenario_to_events",
+    "replay",
+    "ReplayResult",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,36 @@ def scenario_to_stream(
     return [ClickBatch.of(records) for records in per_day]
 
 
+def scenario_to_events(
+    scenario: Scenario,
+    config: StreamConfig | None = None,
+    seconds_per_day: float = 86_400.0,
+):
+    """The scenario's stream as timestamped service events, day-ordered.
+
+    The event-level adapter for :class:`~repro.serve.DetectionService`:
+    each day's records (exactly the batches :func:`scenario_to_stream`
+    produces) become :class:`~repro.serve.queue.ClickEvent` objects with
+    event-time stamps spread uniformly through the day, so a simulated
+    clock replay sees the same intra-day arrival structure a production
+    feed would.
+    """
+    from ..serve.queue import ClickEvent
+
+    config = config or StreamConfig()
+    batches = scenario_to_stream(scenario, config)
+    rng = np.random.default_rng(config.seed + 1)
+    events = []
+    for day_index, batch in enumerate(batches):
+        day_start = day_index * seconds_per_day
+        offsets = np.sort(rng.uniform(0.0, seconds_per_day, size=len(batch)))
+        for (user, item, clicks), offset in zip(batch.records, offsets):
+            events.append(
+                ClickEvent(user, item, clicks, timestamp=day_start + float(offset))
+            )
+    return events
+
+
 @dataclass
 class ReplayResult:
     """Outcome of replaying a stream through the online detector.
@@ -110,11 +147,25 @@ class ReplayResult:
         The online state's suspicious users after the last batch.
     days:
         Horizon replayed.
+    batch_seconds:
+        Wall-clock seconds each day's ``ingest`` call took (graph apply
+        plus any recheck it triggered) — one entry per day, so benchmarks
+        can report ingest-latency percentiles instead of one end-state
+        number.
+    recheck_days:
+        Days (1-based) on which the detector actually ran a recheck.
+    recheck_lag_days:
+        Per day, how many days its batch waited until the next recheck
+        covered it (0 = rechecked the day it arrived).  Days never covered
+        by a recheck within the horizon are absent.
     """
 
     detection_day: dict[int, int]
     final_flagged_users: set
     days: int
+    batch_seconds: list[float] = field(default_factory=list)
+    recheck_days: list[int] = field(default_factory=list)
+    recheck_lag_days: dict[int, int] = field(default_factory=dict)
 
 
 def replay(
@@ -139,9 +190,23 @@ def replay(
     config = config or StreamConfig()
     batches = scenario_to_stream(scenario, config)
     detection_day: dict[int, int] = {}
+    batch_seconds: list[float] = []
+    recheck_days: list[int] = []
+    recheck_lag_days: dict[int, int] = {}
+    pending_days: list[int] = []
     result = online.current_result
     for day_index, batch in enumerate(batches, start=1):
+        pending_days.append(day_index)
+        started = time.perf_counter()
         result = online.ingest(batch)
+        batch_seconds.append(time.perf_counter() - started)
+        if online.batches_since_recheck == 0:
+            # The ingest triggered (or absorbed) a recheck: every pending
+            # day is now covered, at a lag of (today - arrival day).
+            recheck_days.append(day_index)
+            for day in pending_days:
+                recheck_lag_days[day] = day_index - day
+            pending_days.clear()
         for group in scenario.truth.groups:
             if group.group_id in detection_day:
                 continue
@@ -152,4 +217,7 @@ def replay(
         detection_day=detection_day,
         final_flagged_users=set(result.suspicious_users),
         days=config.days,
+        batch_seconds=batch_seconds,
+        recheck_days=recheck_days,
+        recheck_lag_days=recheck_lag_days,
     )

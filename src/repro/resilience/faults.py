@@ -2,7 +2,7 @@
 
 Production code paths call :func:`inject` at stage boundaries (worker
 task start, extraction, screening, shard merge, feedback round,
-incremental recheck).  When no injector is installed the call is one
+incremental recheck, streaming-service ingest).  When no injector is installed the call is one
 module-global read plus a ``None`` check — no RNG, no dict lookups — so
 the fault hooks are effectively free outside the test matrix.
 
@@ -57,6 +57,7 @@ SITES = (
     "shard_merge",
     "feedback",
     "recheck",
+    "ingest",
 )
 
 

@@ -97,6 +97,12 @@ class Deadline:
     silently truncated.  Construct with :meth:`start`, which maps
     ``None`` to "no deadline" so call sites stay branch-free.
 
+    ``clock`` is an optional ``() -> float`` time source replacing
+    ``time.monotonic`` — the streaming service anchors its per-recheck
+    budgets to its injectable :class:`~repro.serve.clock.Clock`, so the
+    deterministic test harness can expire deadlines by *advancing
+    simulated time* instead of sleeping through real seconds.
+
     Examples
     --------
     >>> Deadline.start(None) is None
@@ -106,24 +112,28 @@ class Deadline:
     False
     >>> deadline.remaining() <= 60.0
     True
+    >>> tick = iter((0.0, 5.0)).__next__
+    >>> Deadline(2.0, clock=tick).expired   # simulated clock jumped past it
+    True
     """
 
-    __slots__ = ("seconds", "_anchor")
+    __slots__ = ("seconds", "_anchor", "_now")
 
-    def __init__(self, seconds: float):
+    def __init__(self, seconds: float, clock=None):
         if seconds <= 0:
             raise ConfigError(f"deadline must be > 0 seconds, got {seconds}", "deadline")
         self.seconds = float(seconds)
-        self._anchor = time.monotonic()
+        self._now = time.monotonic if clock is None else clock
+        self._anchor = self._now()
 
     @classmethod
-    def start(cls, seconds: float | None) -> "Deadline | None":
+    def start(cls, seconds: float | None, clock=None) -> "Deadline | None":
         """A deadline starting now, or ``None`` when no budget was given."""
-        return None if seconds is None else cls(seconds)
+        return None if seconds is None else cls(seconds, clock=clock)
 
     def elapsed(self) -> float:
         """Seconds since the deadline started."""
-        return time.monotonic() - self._anchor
+        return self._now() - self._anchor
 
     def remaining(self) -> float:
         """Seconds left in the budget, floored at zero."""

@@ -1,0 +1,102 @@
+"""Injectable time sources for the streaming service.
+
+Everything in :mod:`repro.serve` that reads or waits on time does so
+through the :class:`Clock` protocol, never through :mod:`time` directly.
+That single seam is what makes the service testable: production runs on
+:class:`MonotonicClock` (``time.monotonic`` / ``time.sleep``), while the
+test suite and the deterministic replay harness run on
+:class:`SimulatedClock`, where time only moves when the driver says so —
+``sleep`` *advances* simulated time instead of blocking, so a pump loop
+parked on an empty queue spins forward through simulated seconds without
+ever touching the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "MonotonicClock", "SimulatedClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotone time source the service reads and waits through."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotone, arbitrary epoch)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Let ``seconds`` pass (block, or advance simulated time)."""
+        ...
+
+
+class MonotonicClock:
+    """The production clock: ``time.monotonic`` plus a real ``sleep``."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"
+
+
+class SimulatedClock:
+    """A manually stepped clock for deterministic tests and replays.
+
+    Time starts at ``start`` and only moves through :meth:`advance` (or
+    :meth:`sleep`, which advances instead of blocking — the property that
+    keeps the service's idle-poll loop wall-clock free under test).  All
+    operations are lock-guarded so a threaded pump and a driving test can
+    share one instance.
+
+    Examples
+    --------
+    >>> clock = SimulatedClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(2.5)
+    2.5
+    >>> clock.sleep(0.5)   # advances, never blocks
+    >>> clock.now()
+    3.0
+    """
+
+    __slots__ = ("_now", "_lock")
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past)."""
+        with self._lock:
+            self._now = max(self._now, float(timestamp))
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.advance(seconds)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self.now():.3f})"

@@ -1,0 +1,8 @@
+"""Online-service suite: clock, queue, scheduler, service, backpressure.
+
+Everything here drives :mod:`repro.serve` through a
+:class:`~repro.serve.SimulatedClock`, so the whole suite is deterministic
+and wall-clock free — zero ``time.sleep`` calls, including the threaded
+pump-loop tests (the simulated clock's ``sleep`` advances instead of
+blocking).
+"""

@@ -1,0 +1,73 @@
+"""The injectable clock seam: protocol conformance and simulated stepping."""
+
+import threading
+
+import pytest
+
+from repro.serve import Clock, MonotonicClock, SimulatedClock
+
+pytestmark = pytest.mark.servetest
+
+
+def test_both_clocks_satisfy_the_protocol():
+    assert isinstance(MonotonicClock(), Clock)
+    assert isinstance(SimulatedClock(), Clock)
+
+
+def test_simulated_clock_starts_where_told():
+    assert SimulatedClock().now() == 0.0
+    assert SimulatedClock(start=100.0).now() == 100.0
+
+
+def test_advance_moves_time_and_returns_new_now():
+    clock = SimulatedClock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.advance(0.5) == 3.0
+    assert clock.now() == 3.0
+
+
+def test_advance_rejects_negative_steps():
+    clock = SimulatedClock(start=5.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+    assert clock.now() == 5.0
+
+
+def test_advance_to_is_monotone():
+    clock = SimulatedClock()
+    assert clock.advance_to(10.0) == 10.0
+    # Moving "back" is a no-op, never a rewind.
+    assert clock.advance_to(4.0) == 10.0
+    assert clock.now() == 10.0
+
+
+def test_sleep_advances_instead_of_blocking():
+    clock = SimulatedClock()
+    clock.sleep(1.5)
+    assert clock.now() == 1.5
+    clock.sleep(0.0)
+    clock.sleep(-3.0)  # non-positive sleeps are no-ops, like time.sleep(0)
+    assert clock.now() == 1.5
+
+
+def test_simulated_clock_is_thread_safe():
+    clock = SimulatedClock()
+    steps = 200
+
+    def stepper():
+        for _ in range(steps):
+            clock.advance(1.0)
+
+    threads = [threading.Thread(target=stepper) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert clock.now() == 4 * steps
+
+
+def test_monotonic_clock_moves_forward_without_sleeping():
+    clock = MonotonicClock()
+    first = clock.now()
+    clock.sleep(0)  # must not block
+    assert clock.now() >= first

@@ -1,0 +1,97 @@
+"""The bounded queue: capacity, oldest-first shed, conservation accounting."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.serve import BoundedEventQueue, ClickEvent
+
+pytestmark = pytest.mark.servetest
+
+
+def events(n, prefix="e"):
+    return [ClickEvent(f"u{i}", f"{prefix}{i}", 1, float(i)) for i in range(n)]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigError):
+        BoundedEventQueue(0)
+
+
+def test_fifo_drain_order():
+    queue = BoundedEventQueue(capacity=10)
+    queue.submit_many(events(5))
+    assert [event.item for event in queue.drain()] == ["e0", "e1", "e2", "e3", "e4"]
+
+
+def test_depth_never_exceeds_capacity():
+    queue = BoundedEventQueue(capacity=3)
+    for event in events(10):
+        queue.submit(event)
+        assert len(queue) <= 3
+    assert len(queue) == 3
+
+
+def test_overflow_sheds_oldest_first():
+    queue = BoundedEventQueue(capacity=3)
+    queue.submit_many(events(5))
+    # e0 and e1 (the oldest) were shed; the window slid forward.
+    assert [event.item for event in queue.drain()] == ["e2", "e3", "e4"]
+    assert queue.stats().shed == 2
+
+
+def test_conservation_identity_holds_at_every_step():
+    queue = BoundedEventQueue(capacity=4)
+    for i, event in enumerate(events(20)):
+        queue.submit(event)
+        if i % 3 == 0:
+            queue.drain(2)
+        assert queue.stats().balanced
+    queue.drain()
+    stats = queue.stats()
+    assert stats.balanced
+    assert stats.submitted == 20
+    assert stats.depth == 0
+    assert stats.submitted == stats.drained + stats.shed
+
+
+def test_shed_events_counter_accounts_for_every_loss():
+    queue = BoundedEventQueue(capacity=2)
+    recorder = obs.Recorder()
+    with obs.recording(recorder):
+        queue.submit_many(events(7))
+    assert recorder.counters["serve.shed_events"] == 5
+    assert queue.stats().shed == 5
+
+
+def test_drain_respects_max_events():
+    queue = BoundedEventQueue(capacity=10)
+    queue.submit_many(events(6))
+    assert len(queue.drain(4)) == 4
+    assert len(queue) == 2
+    assert len(queue.drain(100)) == 2
+
+
+def test_requeue_front_restores_order_and_counters():
+    queue = BoundedEventQueue(capacity=10)
+    queue.submit_many(events(5))
+    batch = queue.drain(3)
+    queue.requeue_front(batch)
+    stats = queue.stats()
+    assert stats.drained == 0  # rolled back: the batch was never applied
+    assert stats.balanced
+    assert [event.item for event in queue.drain()] == ["e0", "e1", "e2", "e3", "e4"]
+
+
+def test_requeue_front_over_capacity_sheds_the_requeued_oldest():
+    queue = BoundedEventQueue(capacity=3)
+    queue.submit_many(events(3))
+    batch = queue.drain(3)
+    # Fresh traffic refilled the queue while the failed batch was out.
+    queue.submit_many(events(3, prefix="f"))
+    queue.requeue_front(batch)
+    stats = queue.stats()
+    assert stats.balanced
+    assert stats.shed == 3
+    # The survivors are the freshest traffic, in order.
+    assert [event.item for event in queue.drain()] == ["f0", "f1", "f2"]

@@ -1,0 +1,79 @@
+"""Bounded-staleness policy: exact bound boundaries, disabled bounds, scaling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import RecheckScheduler, StalenessPolicy
+
+pytestmark = pytest.mark.servetest
+
+
+def test_policy_requires_at_least_one_bound():
+    with pytest.raises(ConfigError):
+        StalenessPolicy(max_dirty=None, max_batches=None, max_age=None)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_dirty": 0},
+        {"max_batches": 0},
+        {"max_age": 0.0},
+        {"max_age": -1.0},
+    ],
+)
+def test_policy_rejects_degenerate_bounds(kwargs):
+    with pytest.raises(ConfigError):
+        StalenessPolicy(**kwargs)
+
+
+def test_nothing_due_while_dirty_region_is_empty():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=1, max_batches=1, max_age=0.001))
+    assert scheduler.due(dirty_size=0, batches_since=99, dirty_age=1e9) is None
+
+
+def test_dirty_bound_fires_exactly_at_the_boundary():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=10, max_batches=None, max_age=None))
+    assert scheduler.due(dirty_size=9, batches_since=0, dirty_age=0.0) is None
+    assert scheduler.due(dirty_size=10, batches_since=0, dirty_age=0.0) == "dirty"
+    assert scheduler.due(dirty_size=11, batches_since=0, dirty_age=0.0) == "dirty"
+
+
+def test_batches_bound_fires_exactly_at_the_boundary():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=None, max_batches=5, max_age=None))
+    assert scheduler.due(dirty_size=1, batches_since=4, dirty_age=0.0) is None
+    assert scheduler.due(dirty_size=1, batches_since=5, dirty_age=0.0) == "batches"
+
+
+def test_age_bound_fires_exactly_at_the_boundary():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=None, max_batches=None, max_age=60.0))
+    assert scheduler.due(dirty_size=1, batches_since=0, dirty_age=59.999) is None
+    assert scheduler.due(dirty_size=1, batches_since=0, dirty_age=60.0) == "age"
+
+
+def test_whichever_bound_trips_first_wins_in_fixed_priority():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=10, max_batches=5, max_age=60.0))
+    # Only the size bound tripped.
+    assert scheduler.due(dirty_size=10, batches_since=1, dirty_age=1.0) == "dirty"
+    # Only the batch bound tripped.
+    assert scheduler.due(dirty_size=1, batches_since=5, dirty_age=1.0) == "batches"
+    # Only the age bound tripped.
+    assert scheduler.due(dirty_size=1, batches_since=1, dirty_age=60.0) == "age"
+    # All tripped: reported reason follows dirty > batches > age priority.
+    assert scheduler.due(dirty_size=10, batches_since=5, dirty_age=60.0) == "dirty"
+
+
+def test_disabled_bounds_never_fire():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=None, max_batches=None, max_age=1.0))
+    assert scheduler.due(dirty_size=10**9, batches_since=10**9, dirty_age=0.5) is None
+    assert scheduler.due(dirty_size=1, batches_since=0, dirty_age=1.0) == "age"
+
+
+def test_scale_multiplies_every_bound():
+    scheduler = RecheckScheduler(StalenessPolicy(max_dirty=10, max_batches=5, max_age=60.0))
+    # At scale 4 (the degradation ladder's coarse cadence) the same state
+    # that fired at scale 1 is no longer due.
+    assert scheduler.due(dirty_size=10, batches_since=5, dirty_age=60.0, scale=4) is None
+    assert scheduler.due(dirty_size=40, batches_since=0, dirty_age=0.0, scale=4) == "dirty"
+    assert scheduler.due(dirty_size=1, batches_since=20, dirty_age=0.0, scale=4) == "batches"
+    assert scheduler.due(dirty_size=1, batches_since=0, dirty_age=240.0, scale=4) == "age"
