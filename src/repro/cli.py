@@ -11,6 +11,8 @@ Usage::
     ricd detect clicks.csv --shards 4 --jobs 4   # component-sharded detection
     ricd serve --replay clicks.csv  # stream the table through the online service
     ricd serve --replay clicks.csv --rate 50000 --max-batch 2000
+    ricd redteam                    # attack-zoo frontier on a clean marketplace
+    ricd redteam --families learned,uplift --budgets 2000 --out frontier.json
 """
 
 from __future__ import annotations
@@ -223,6 +225,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="extraction engine for rechecks (default auto)",
     )
     _add_trace_flags(serve_parser)
+
+    redteam_parser = subparsers.add_parser(
+        "redteam",
+        help=(
+            "run the adversarial attack zoo against the detector and report "
+            "the recall/precision frontier per (family x budget x adaptivity)"
+        ),
+    )
+    redteam_parser.add_argument(
+        "--families",
+        default=None,
+        metavar="LIST",
+        help="comma-separated attack families (default: every registry family)",
+    )
+    redteam_parser.add_argument(
+        "--budgets",
+        default="2000,5000",
+        metavar="LIST",
+        help="comma-separated click budgets (default 2000,5000)",
+    )
+    redteam_parser.add_argument(
+        "--adaptivity",
+        choices=("static", "adaptive", "both"),
+        default="both",
+        help="attacker adaptivity levels to run (default both)",
+    )
+    redteam_parser.add_argument(
+        "--scale",
+        choices=("tiny", "small", "paper"),
+        default="small",
+        help="clean-marketplace preset the campaigns attack (default small)",
+    )
+    redteam_parser.add_argument(
+        "--seed", type=int, default=0, help="marketplace + campaign seed (default 0)"
+    )
+    redteam_parser.add_argument("--k1", type=int, default=10, help="min group users")
+    redteam_parser.add_argument("--k2", type=int, default=10, help="min group items")
+    redteam_parser.add_argument(
+        "--no-feedback",
+        action="store_true",
+        help="skip the Fig. 7 feedback-loop defense column",
+    )
+    redteam_parser.add_argument(
+        "--drip",
+        type=int,
+        default=0,
+        metavar="N_BATCHES",
+        help=(
+            "also replay each adaptive campaign as an N-batch slow drip "
+            "through the online service and report the checkpoint parity "
+            "(default 0: skip the serve replay)"
+        ),
+    )
+    redteam_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the frontier as a JSON artifact to PATH",
+    )
     return parser
 
 
@@ -462,6 +523,147 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 1 if parity_failures else 0
 
 
+def _run_redteam(args: argparse.Namespace) -> int:
+    """The ``ricd redteam`` subcommand body: attack zoo vs the detector."""
+    import json
+
+    from .datagen import clean_marketplace
+    from .datagen.attacks import family_names, plan_family
+    from .eval.reporting import render_table
+    from .eval.robustness import red_team
+
+    known = family_names()
+    families = known
+    if args.families:
+        families = [name.strip() for name in args.families.split(",") if name.strip()]
+        unknown = [name for name in families if name not in known]
+        if unknown:
+            print(
+                f"error: unknown families {', '.join(unknown)} "
+                f"(known: {', '.join(known)})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        budgets = [int(token) for token in args.budgets.split(",") if token.strip()]
+        params = RICDParams(k1=args.k1, k2=args.k2)
+    except (ValueError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not budgets:
+        print("error: --budgets must name at least one budget", file=sys.stderr)
+        return 2
+    adaptivity = {
+        "static": (False,),
+        "adaptive": (True,),
+        "both": (False, True),
+    }[args.adaptivity]
+
+    graph = clean_marketplace(args.scale, seed=args.seed)
+    print(f"marketplace: scale={args.scale} seed={args.seed} {graph!r}")
+    report = red_team(
+        graph,
+        families=families,
+        budgets=budgets,
+        adaptivity=adaptivity,
+        params=params,
+        seed=args.seed,
+        with_feedback=not args.no_feedback,
+    )
+
+    headers = ["family", "budget", "adaptive", "workers", "P", "R", "F1"]
+    if not args.no_feedback:
+        headers += ["fb P", "fb R", "fb rounds"]
+    rows = []
+    for point in report.points:
+        row = [
+            point.family,
+            point.budget,
+            "yes" if point.adaptive else "no",
+            point.n_workers,
+            f"{point.metrics.precision:.3f}",
+            f"{point.metrics.recall:.3f}",
+            f"{point.metrics.f1:.3f}",
+        ]
+        if point.feedback_metrics is not None:
+            row += [
+                f"{point.feedback_metrics.precision:.3f}",
+                f"{point.feedback_metrics.recall:.3f}",
+                point.feedback_rounds,
+            ]
+        elif not args.no_feedback:
+            row += ["-", "-", "-"]
+        rows.append(row)
+    print()
+    print(render_table(headers, rows, title="red-team frontier (exact truth)"))
+
+    payload = report.to_json()
+    payload["marketplace"] = {"scale": args.scale, "seed": args.seed}
+    payload["params"] = {"k1": args.k1, "k2": args.k2}
+
+    if args.drip > 0:
+        from .serve.redteam import drip_campaign
+
+        print()
+        drip_rows = []
+        drip_campaigns = []
+        parity_failures = 0
+        for family in families:
+            plan = plan_family(
+                graph.copy(), family, budget=budgets[0], seed=args.seed, adaptive=True
+            )
+            outcome = drip_campaign(graph, plan, n_batches=args.drip, params=params)
+            applied = graph.copy()
+            plan.apply(applied)
+            batch = RICDDetector(params=params).detect(applied)
+            parity = (
+                outcome.final.suspicious_users == batch.suspicious_users
+                and outcome.final.suspicious_items == batch.suspicious_items
+            )
+            parity_failures += 0 if parity else 1
+            drip_rows.append(
+                [
+                    family,
+                    outcome.events,
+                    outcome.mid_flagged_workers,
+                    outcome.final_flagged_workers,
+                    outcome.n_workers,
+                    "ok" if parity else "MISMATCH",
+                ]
+            )
+            drip_campaigns.append(
+                {
+                    "family": family,
+                    "events": outcome.events,
+                    "mid_flagged_workers": outcome.mid_flagged_workers,
+                    "final_flagged_workers": outcome.final_flagged_workers,
+                    "n_workers": outcome.n_workers,
+                    "parity": parity,
+                }
+            )
+        print(
+            render_table(
+                ["family", "events", "mid flagged", "final flagged", "workers", "parity"],
+                drip_rows,
+                title=f"slow-drip replay ({args.drip} batches, adaptive, budget {budgets[0]})",
+            )
+        )
+        payload["drip"] = {
+            "n_batches": args.drip,
+            "budget": budgets[0],
+            "parity_failures": parity_failures,
+            "campaigns": drip_campaigns,
+        }
+        if parity_failures:
+            print(f"error: {parity_failures} drip parity failure(s)", file=sys.stderr)
+
+    if args.out:
+        path = Path(args.out)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote frontier artifact to {path}")
+    return 1 if args.drip > 0 and payload["drip"]["parity_failures"] else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -477,6 +679,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "redteam":
+        return _run_redteam(args)
 
     targets = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     with _trace_scope(args) as recorder:

@@ -14,7 +14,18 @@ is *stronger* than the paper's expert-sampled labels; the labelling bias of
 the paper is reproduced separately in :mod:`repro.eval.groundtruth`.
 """
 
-from .attacks import AttackConfig, AttackGroup, inject_attacks
+from .attacks import (
+    ATTACK_FAMILIES,
+    AttackConfig,
+    AttackGroup,
+    AttackPlan,
+    ClickBudget,
+    ObservedDefense,
+    family_names,
+    inject_attacks,
+    inject_family,
+    plan_family,
+)
 from .evasion import EvasionConfig, inject_evasive_campaign
 from .distributions import (
     pareto_share,
@@ -26,7 +37,9 @@ from .marketplace import MarketplaceConfig, generate_marketplace
 from .streams import ReplayResult, StreamConfig, replay, scenario_to_stream
 from .scenario import (
     Scenario,
+    clean_marketplace,
     generate_scenario,
+    marketplace_preset,
     paper_scenario,
     small_scenario,
     tiny_scenario,
@@ -35,6 +48,13 @@ from .scenario import (
 __all__ = [
     "AttackConfig",
     "AttackGroup",
+    "AttackPlan",
+    "ClickBudget",
+    "ObservedDefense",
+    "ATTACK_FAMILIES",
+    "family_names",
+    "plan_family",
+    "inject_family",
     "inject_attacks",
     "EvasionConfig",
     "inject_evasive_campaign",
@@ -42,6 +62,8 @@ __all__ = [
     "MarketplaceConfig",
     "generate_marketplace",
     "Scenario",
+    "clean_marketplace",
+    "marketplace_preset",
     "generate_scenario",
     "paper_scenario",
     "small_scenario",

@@ -25,6 +25,8 @@ __all__ = [
     "paper_scenario",
     "small_scenario",
     "tiny_scenario",
+    "marketplace_preset",
+    "clean_marketplace",
 ]
 
 
@@ -80,32 +82,67 @@ def generate_scenario(
     )
 
 
+def marketplace_preset(scale: str = "small", seed: int = 0) -> MarketplaceConfig:
+    """The marketplace configuration behind each scenario preset.
+
+    These shapes are threshold-calibrated: their organic click mass
+    resolves ``T_click`` to ~12-13, so the paper's 13-click attack model
+    (and the attack zoo's family defaults) sits exactly at the detection
+    boundary — the regime the paper studies.  Use them whenever an
+    experiment needs a *clean* marketplace to attack separately (the
+    red-team harness, the evasion studies).
+    """
+    from ..errors import DataGenError
+
+    if scale == "paper":
+        return MarketplaceConfig(seed=seed)
+    if scale == "small":
+        return MarketplaceConfig(
+            n_users=3_000,
+            n_items=700,
+            n_cohorts=4,
+            cohort_users=(12, 25),
+            cohort_items=(8, 12),
+            n_superfans=30,
+            superfan_clicks=(12, 18),
+            n_swarms=2,
+            swarm_users=(20, 26),
+            swarm_items=(6, 8),
+            seed=seed,
+        )
+    if scale == "tiny":
+        return MarketplaceConfig(
+            n_users=800,
+            n_items=150,
+            n_cohorts=1,
+            cohort_users=(8, 12),
+            cohort_items=(6, 8),
+            n_superfans=5,
+            n_swarms=0,
+            seed=seed,
+        )
+    raise DataGenError(f"unknown marketplace scale {scale!r} (tiny/small/paper)")
+
+
+def clean_marketplace(scale: str = "small", seed: int = 0) -> BipartiteGraph:
+    """A preset marketplace with *no* attacks injected."""
+    return generate_marketplace(marketplace_preset(scale, seed))
+
+
 def paper_scenario(seed: int = 0, n_groups: int = 8) -> Scenario:
     """The paper's environment at 1/1000 scale.
 
     20k users, 4k items, ~86k organic click records plus ``n_groups``
     injected attack groups with the paper's case-study group shape.
     """
-    marketplace = MarketplaceConfig(seed=seed)
+    marketplace = marketplace_preset("paper", seed)
     attacks = AttackConfig(n_groups=n_groups, seed=seed + 1)
     return generate_scenario(marketplace, attacks)
 
 
 def small_scenario(seed: int = 0, n_groups: int = 4) -> Scenario:
     """A 3k-user / 700-item scenario for integration tests (~1 s)."""
-    marketplace = MarketplaceConfig(
-        n_users=3_000,
-        n_items=700,
-        n_cohorts=4,
-        cohort_users=(12, 25),
-        cohort_items=(8, 12),
-        n_superfans=30,
-        superfan_clicks=(12, 18),
-        n_swarms=2,
-        swarm_users=(20, 26),
-        swarm_items=(6, 8),
-        seed=seed,
-    )
+    marketplace = marketplace_preset("small", seed)
     attacks = AttackConfig(
         n_groups=n_groups,
         workers_per_group=(5, 8),
@@ -119,16 +156,7 @@ def small_scenario(seed: int = 0, n_groups: int = 4) -> Scenario:
 
 def tiny_scenario(seed: int = 0, n_groups: int = 1) -> Scenario:
     """A few-hundred-node scenario for unit tests (tens of milliseconds)."""
-    marketplace = MarketplaceConfig(
-        n_users=800,
-        n_items=150,
-        n_cohorts=1,
-        cohort_users=(8, 12),
-        cohort_items=(6, 8),
-        n_superfans=5,
-        n_swarms=0,
-        seed=seed,
-    )
+    marketplace = marketplace_preset("tiny", seed)
     attacks = AttackConfig(
         n_groups=n_groups,
         workers_per_group=(4, 5),

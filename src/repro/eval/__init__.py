@@ -14,10 +14,13 @@ from .reporting import (
 from .robustness import (
     CamouflagePoint,
     EvasionReport,
+    FrontierPoint,
+    RedTeamReport,
     SeedSummary,
     camouflage_sweep,
     evaluate_across_seeds,
     evasion_economics,
+    red_team,
 )
 from .parallel import run_suite_parallel, sensitivity_sweep_parallel
 from .sweeps import SweepPoint, evaluate_sweep_point, sensitivity_sweep
@@ -49,6 +52,9 @@ __all__ = [
     "evasion_economics",
     "SeedSummary",
     "evaluate_across_seeds",
+    "FrontierPoint",
+    "RedTeamReport",
+    "red_team",
     "GridPoint",
     "TuningResult",
     "grid_search",

@@ -16,6 +16,12 @@ Two studies beyond the paper's main grid, both rooted in its text:
 * **Multi-seed stability** — :func:`evaluate_across_seeds` reruns a
   detector over freshly generated scenarios and reports mean/min/max
   metrics, the repository's guard against seed-cherry-picking.
+
+* **Red team** — :func:`red_team` runs every attack family of
+  :mod:`repro.datagen.attacks` against the detector over a (family ×
+  click budget × adaptivity) grid and reports the recall/precision
+  frontier, with and without the Fig. 7 feedback loop.  This is the
+  harness behind ``ricd redteam`` and the robustness-frontier docs.
 """
 
 from __future__ import annotations
@@ -41,6 +47,9 @@ __all__ = [
     "evasion_economics",
     "SeedSummary",
     "evaluate_across_seeds",
+    "FrontierPoint",
+    "RedTeamReport",
+    "red_team",
 ]
 
 
@@ -204,6 +213,182 @@ def evasion_economics(
         invisible_click_bound=undetected_campaign_bound(n_workers, n_targets, params),
         evasive_fake_edges=target_edges,
     )
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (family × budget × adaptivity) cell of the red-team frontier.
+
+    Attributes
+    ----------
+    family:
+        Attack-family registry name.
+    budget:
+        Click budget the campaign spent (exactly, by the ledger).
+    adaptive:
+        Whether the attacker observed the resolved thresholds.
+    metrics:
+        Exact-truth metrics of the baseline detector run.
+    feedback_metrics:
+        Metrics of the same detection with the Fig. 7 feedback loop
+        enabled (``None`` when the loop was not evaluated).
+    feedback_rounds:
+        Relaxation rounds the loop actually performed.
+    n_workers, n_groups:
+        Campaign size, for economics context in the report.
+    """
+
+    family: str
+    budget: int
+    adaptive: bool
+    metrics: Metrics
+    feedback_metrics: Metrics | None
+    feedback_rounds: int
+    n_workers: int
+    n_groups: int
+
+    @property
+    def recall_recovered(self) -> float:
+        """Recall the feedback loop added over the baseline run."""
+        if self.feedback_metrics is None:
+            return 0.0
+        return self.feedback_metrics.recall - self.metrics.recall
+
+    def to_row(self) -> dict:
+        """JSON-serialisable flat record (the artifact row format)."""
+        row = {
+            "family": self.family,
+            "budget": self.budget,
+            "adaptive": self.adaptive,
+            "n_workers": self.n_workers,
+            "n_groups": self.n_groups,
+            "precision": self.metrics.precision,
+            "recall": self.metrics.recall,
+            "f1": self.metrics.f1,
+        }
+        if self.feedback_metrics is not None:
+            row["feedback"] = {
+                "precision": self.feedback_metrics.precision,
+                "recall": self.feedback_metrics.recall,
+                "f1": self.feedback_metrics.f1,
+                "rounds": self.feedback_rounds,
+                "recall_recovered": self.recall_recovered,
+            }
+        return row
+
+
+@dataclass(frozen=True)
+class RedTeamReport:
+    """The full recall/precision frontier of one red-team run."""
+
+    seed: int
+    points: list[FrontierPoint]
+
+    def families(self) -> list[str]:
+        """Families present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.family, None)
+        return list(seen)
+
+    def best_recall(self, family: str) -> float:
+        """Best baseline recall over the family's cells (any budget)."""
+        cells = [p.metrics.recall for p in self.points if p.family == family]
+        return max(cells) if cells else 0.0
+
+    def to_json(self) -> dict:
+        """The ``ricd redteam`` artifact payload."""
+        return {
+            "schema": "ricd.redteam.frontier/v1",
+            "seed": self.seed,
+            "families": self.families(),
+            "points": [point.to_row() for point in self.points],
+        }
+
+
+def _sized_feedback_policy(expectation: int, shrink_k: bool = True):
+    from ..config import FeedbackPolicy
+
+    return FeedbackPolicy(
+        expectation=expectation, max_rounds=4, t_click_step=2.0,
+        alpha_step=0.1, shrink_k=shrink_k,
+    )
+
+
+def red_team(
+    clean_graph,
+    families: Sequence[str] | None = None,
+    budgets: Sequence[int] = (2_000, 5_000),
+    adaptivity: Sequence[bool] = (False, True),
+    params: RICDParams | None = None,
+    seed: int = 0,
+    with_feedback: bool = True,
+) -> RedTeamReport:
+    """Run the attack zoo against the detector and map the frontier.
+
+    For every (family × budget × adaptivity) cell the harness plans a
+    campaign on a *copy* of ``clean_graph`` (the registry's uniform
+    ``plan_family``), applies it, and evaluates:
+
+    1. the baseline :class:`~repro.core.framework.RICDDetector` with
+       ``params``;
+    2. (when ``with_feedback``) the same detector with a Fig. 7
+       :class:`~repro.config.FeedbackPolicy` whose expectation is sized
+       from the ground truth — the operator's "I know roughly how much
+       fraud there is" knob the paper's feedback loop assumes.
+
+    Campaign seeds are derived from ``seed`` per cell so cells are
+    independent but the whole frontier is reproducible.
+    """
+    from ..datagen.attacks import family_names, plan_family
+
+    chosen = list(families) if families is not None else family_names()
+    effective = params if params is not None else RICDParams()
+    points: list[FrontierPoint] = []
+    for family_index, family in enumerate(chosen):
+        for budget in budgets:
+            for adaptive in adaptivity:
+                graph = clean_graph.copy()
+                cell_seed = seed + 1_000 * family_index + int(budget) + int(adaptive)
+                plan = plan_family(
+                    graph, family, budget=budget, seed=cell_seed, adaptive=adaptive
+                )
+                truth = plan.apply(graph)
+                base_result = RICDDetector(params=effective).detect(graph)
+                metrics = node_metrics(
+                    base_result.suspicious_users,
+                    base_result.suspicious_items,
+                    truth.abnormal_users,
+                    truth.abnormal_items,
+                )
+                feedback_metrics = None
+                feedback_rounds = 0
+                if with_feedback:
+                    expectation = len(truth.abnormal_users) + len(truth.abnormal_items)
+                    fed_result = RICDDetector(
+                        params=effective,
+                        feedback=_sized_feedback_policy(expectation),
+                    ).detect(graph)
+                    feedback_metrics = node_metrics(
+                        fed_result.suspicious_users,
+                        fed_result.suspicious_items,
+                        truth.abnormal_users,
+                        truth.abnormal_items,
+                    )
+                    feedback_rounds = fed_result.feedback_rounds
+                points.append(
+                    FrontierPoint(
+                        family=family,
+                        budget=int(budget),
+                        adaptive=bool(adaptive),
+                        metrics=metrics,
+                        feedback_metrics=feedback_metrics,
+                        feedback_rounds=feedback_rounds,
+                        n_workers=sum(len(g.workers) for g in plan.groups),
+                        n_groups=len(plan.groups),
+                    )
+                )
+    return RedTeamReport(seed=seed, points=points)
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ zero wall-clock sleeps.
 
 from .clock import Clock, MonotonicClock, SimulatedClock
 from .queue import BoundedEventQueue, ClickEvent, QueueStats
+from .redteam import DripOutcome, drip_campaign
 from .scheduler import RecheckScheduler, StalenessPolicy
 from .service import DetectionService, PumpReport, ServeConfig, ServiceSnapshot
 
@@ -35,4 +36,6 @@ __all__ = [
     "DetectionService",
     "PumpReport",
     "ServiceSnapshot",
+    "DripOutcome",
+    "drip_campaign",
 ]

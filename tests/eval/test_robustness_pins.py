@@ -1,0 +1,105 @@
+"""Seed-pinned regressions for the robustness studies (ISSUE 8).
+
+The camouflage sweep and the evasion-economics report are the two
+robustness numbers quoted in the docs; these tests pin their exact
+outputs under fixed seeds, captured against the pre-refactor
+single-module ``datagen/attacks.py``.  The attacks package-ification
+keeps the classic injector RNG-for-RNG identical, so any drift here
+means the refactor (or a later change) silently moved an experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RICDParams
+from repro.core.framework import RICDDetector
+from repro.datagen import (
+    AttackConfig,
+    MarketplaceConfig,
+    generate_marketplace,
+    generate_scenario,
+)
+from repro.eval.robustness import camouflage_sweep, evasion_economics
+
+APPROX = dict(rel=1e-9, abs=1e-12)
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    template = generate_scenario(
+        MarketplaceConfig(
+            n_users=1500,
+            n_items=400,
+            n_cohorts=2,
+            cohort_users=(10, 18),
+            cohort_items=(6, 9),
+            n_superfans=15,
+            superfan_clicks=(12, 18),
+            n_swarms=0,
+            seed=7,
+        ),
+        AttackConfig(
+            n_groups=2,
+            workers_per_group=(6, 9),
+            targets_per_group=(6, 8),
+            target_clicks=(13, 15),
+            density=1.0,
+            sloppy_fraction=0.0,
+            seed=8,
+        ),
+    )
+    return camouflage_sweep(
+        template,
+        lambda: RICDDetector(params=RICDParams(k1=5, k2=5)),
+        levels=((0, 0), (3, 10), (12, 25)),
+    )
+
+
+class TestCamouflageSweepPin:
+    # (precision, recall, f1, true_positives, output_size, known_size)
+    PINNED = (
+        (1.0, 0.4642857142857143, 0.6341463414634146, 13, 13, 28),
+        (1.0, 0.43333333333333335, 0.6046511627906976, 13, 13, 30),
+        (0.0, 0.0, 0.0, 0, 0, 28),
+    )
+
+    def test_levels_round_trip(self, sweep_points):
+        assert [p.camouflage_items for p in sweep_points] == [
+            (0, 0),
+            (3, 10),
+            (12, 25),
+        ]
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_pinned_metrics(self, sweep_points, index):
+        m = sweep_points[index].metrics
+        precision, recall, f1, tp, output, known = self.PINNED[index]
+        assert m.precision == pytest.approx(precision, **APPROX)
+        assert m.recall == pytest.approx(recall, **APPROX)
+        assert m.f1 == pytest.approx(f1, **APPROX)
+        assert (m.true_positives, m.output_size, m.known_size) == (tp, output, known)
+
+
+class TestEvasionEconomicsPin:
+    def test_pinned_report(self):
+        marketplace = generate_marketplace(
+            MarketplaceConfig(n_swarms=0, n_superfans=0, seed=21)
+        )
+        report = evasion_economics(
+            marketplace,
+            RICDParams(k1=10, k2=10),
+            n_workers=25,
+            n_targets=12,
+            seed=3,
+        )
+        assert report.overt_detection_rate == pytest.approx(1.0, **APPROX)
+        assert report.evasive_detection_rate == pytest.approx(0.0, **APPROX)
+        assert report.overt_mean_lift == pytest.approx(
+            0.014199805866472535, **APPROX
+        )
+        assert report.evasive_mean_lift == pytest.approx(
+            0.0018685375879311811, **APPROX
+        )
+        assert report.invisible_click_bound == 285
+        assert report.evasive_fake_edges == 108

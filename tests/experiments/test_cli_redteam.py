@@ -1,0 +1,84 @@
+"""Tests for the ``ricd redteam`` subcommand (ISSUE 8)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "redteam",
+    "--scale",
+    "tiny",
+    "--families",
+    "coattails",
+    "--budgets",
+    "400",
+    "--k1",
+    "4",
+    "--k2",
+    "4",
+    "--no-feedback",
+]
+
+
+class TestRedteamCommand:
+    def test_runs_and_prints_frontier(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "marketplace: scale=tiny" in out
+        assert "red-team frontier" in out
+        assert "coattails" in out
+
+    def test_feedback_columns_present_by_default(self, capsys):
+        args = [a for a in FAST if a != "--no-feedback"]
+        assert main(args + ["--adaptivity", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "fb R" in out and "fb rounds" in out
+
+    def test_writes_frontier_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "frontier.json"
+        assert main(FAST + ["--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "ricd.redteam.frontier/v1"
+        assert payload["families"] == ["coattails"]
+        assert payload["marketplace"] == {"scale": "tiny", "seed": 0}
+        assert payload["params"] == {"k1": 4, "k2": 4}
+        # static + adaptive cells at one budget
+        assert len(payload["points"]) == 2
+        assert {p["adaptive"] for p in payload["points"]} == {False, True}
+
+    def test_adaptivity_filter(self, tmp_path, capsys):
+        out_path = tmp_path / "static.json"
+        args = FAST + ["--adaptivity", "static", "--out", str(out_path)]
+        assert main(args) == 0
+        payload = json.loads(out_path.read_text())
+        assert [p["adaptive"] for p in payload["points"]] == [False]
+
+    def test_drip_section_and_artifact_block(self, tmp_path, capsys):
+        out_path = tmp_path / "drip.json"
+        assert main(FAST + ["--drip", "5", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parity" in out and "MISMATCH" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["drip"]["n_batches"] == 5
+        rows = payload["drip"]["campaigns"]
+        assert [row["family"] for row in rows] == ["coattails"]
+        assert all(row["parity"] for row in rows)
+        assert all(row["events"] == 400 for row in rows)
+
+    def test_unknown_family_errors(self, capsys):
+        assert main(["redteam", "--families", "nope"]) == 2
+        assert "unknown families" in capsys.readouterr().err
+
+    def test_bad_budgets_error(self, capsys):
+        assert main(["redteam", "--budgets", "abc"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_budgets_error(self, capsys):
+        assert main(["redteam", "--budgets", ","]) == 2
+        assert "at least one budget" in capsys.readouterr().err
+
+    def test_unknown_scale_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["redteam", "--scale", "galactic"])

@@ -13,8 +13,12 @@ survives intact.
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
+
 from repro.config import RICDParams
 from repro.core.framework import RICDDetector
+from repro.datagen import clean_marketplace, family_names, plan_family
 from repro.graph import BipartiteGraph
 from repro.shard.partition import partition_graph
 from repro.shard.runner import detect_sharded
@@ -145,3 +149,143 @@ class TestStraddlingAttack:
         assert canonical_groups(sharded.groups) == {
             (ATTACK_USERS, ATTACK_ITEMS, frozenset({"H"}))
         }
+
+
+# ----------------------------------------------------------------------
+# Attack-zoo metamorphic grid (ISSUE 8): every family, static and
+# adaptive, is invariant under shard count and under user/item
+# relabeling.  A family whose detection outcome moved with the shard
+# layout or the id universe would leak iteration order into decisions.
+# ----------------------------------------------------------------------
+
+FAMILY_GRID = [
+    pytest.param(family, adaptive, id=f"{family}-{'adaptive' if adaptive else 'static'}")
+    for family in family_names()
+    for adaptive in (False, True)
+]
+GRID_PARAMS = RICDParams(k1=4, k2=4)
+GRID_BUDGET = 500
+
+_ATTACKED: dict = {}
+_GRID_REFERENCES: dict = {}
+
+
+def _attacked_graph(family: str, adaptive: bool) -> BipartiteGraph:
+    key = (family, adaptive)
+    if key not in _ATTACKED:
+        graph = clean_marketplace("tiny", seed=5)
+        plan = plan_family(graph, family, budget=GRID_BUDGET, seed=2, adaptive=adaptive)
+        plan.apply(graph)
+        _ATTACKED[key] = graph
+    return _ATTACKED[key]
+
+
+def _grid_reference(family: str, adaptive: bool):
+    key = (family, adaptive)
+    if key not in _GRID_REFERENCES:
+        _GRID_REFERENCES[key] = RICDDetector(
+            params=GRID_PARAMS, max_group_users=None
+        ).detect(_attacked_graph(family, adaptive))
+    return _GRID_REFERENCES[key]
+
+
+def _relabel_maps(graph: BipartiteGraph, seed: int):
+    """Seeded bijections that scramble the lexicographic node order."""
+    rng = np.random.default_rng(seed)
+    users = sorted(map(str, graph.users()))
+    items = sorted(map(str, graph.items()))
+    user_map = {
+        user: f"RU{index}" for user, index in zip(users, rng.permutation(len(users)))
+    }
+    item_map = {
+        item: f"RI{index}" for item, index in zip(items, rng.permutation(len(items)))
+    }
+    return user_map, item_map
+
+
+def _relabel_graph(graph: BipartiteGraph, user_map, item_map) -> BipartiteGraph:
+    out = BipartiteGraph()
+    for user in graph.users():
+        out.add_user(user_map[str(user)])
+    for item in graph.items():
+        out.add_item(item_map[str(item)])
+    for user in graph.users():
+        for item, clicks in graph.user_neighbors(user).items():
+            out.add_click(user_map[str(user)], item_map[str(item)], clicks)
+    return out
+
+
+def _mapped_result_key(result, user_map, item_map):
+    """``canonical_result`` pushed through the relabeling bijections."""
+    return (
+        sorted(user_map[str(u)] for u in result.suspicious_users),
+        sorted(item_map[str(i)] for i in result.suspicious_items),
+        {
+            (
+                frozenset(user_map[str(u)] for u in group.users),
+                frozenset(item_map[str(i)] for i in group.items),
+                frozenset(item_map[str(i)] for i in group.hot_items),
+            )
+            for group in result.groups
+        },
+        sorted((user_map[str(u)], score) for u, score in result.user_scores.items()),
+        sorted((item_map[str(i)], score) for i, score in result.item_scores.items()),
+        result.feedback_rounds,
+    )
+
+
+def _identity_maps(graph: BipartiteGraph):
+    identity = {str(node): str(node) for node in list(graph.users()) + list(graph.items())}
+    return identity
+
+
+class TestFamilyGridShardInvariance:
+    @pytest.mark.parametrize("family, adaptive", FAMILY_GRID)
+    @pytest.mark.parametrize("shards", (2, 5))
+    def test_sharding_is_invisible_on_every_family(self, family, adaptive, shards):
+        graph = _attacked_graph(family, adaptive)
+        detector = RICDDetector(
+            params=GRID_PARAMS, max_group_users=None, shards=shards
+        )
+        assert canonical_result(detect_sharded(detector, graph)) == canonical_result(
+            _grid_reference(family, adaptive)
+        )
+
+    def test_grid_is_not_vacuous(self):
+        """At least the overt paper-style cells actually detect something,
+        so the invariances above compare non-empty outputs."""
+        flagged_families = [
+            family
+            for family in family_names()
+            if _grid_reference(family, False).groups
+        ]
+        assert flagged_families, "every static cell detected nothing"
+
+
+class TestFamilyGridRelabelingInvariance:
+    @pytest.mark.parametrize("family, adaptive", FAMILY_GRID)
+    def test_detection_commutes_with_relabeling(self, family, adaptive):
+        graph = _attacked_graph(family, adaptive)
+        user_map, item_map = _relabel_maps(graph, seed=17)
+        relabeled = _relabel_graph(graph, user_map, item_map)
+        relabeled_result = RICDDetector(
+            params=GRID_PARAMS, max_group_users=None
+        ).detect(relabeled)
+        identity = _identity_maps(relabeled)
+        assert _mapped_result_key(relabeled_result, identity, identity) == (
+            _mapped_result_key(_grid_reference(family, adaptive), user_map, item_map)
+        )
+
+    @pytest.mark.parametrize("family, adaptive", FAMILY_GRID)
+    def test_relabeled_graph_still_shard_invariant(self, family, adaptive):
+        graph = _attacked_graph(family, adaptive)
+        user_map, item_map = _relabel_maps(graph, seed=23)
+        relabeled = _relabel_graph(graph, user_map, item_map)
+        unsharded = RICDDetector(params=GRID_PARAMS, max_group_users=None).detect(
+            relabeled
+        )
+        sharded = detect_sharded(
+            RICDDetector(params=GRID_PARAMS, max_group_users=None, shards=3),
+            relabeled,
+        )
+        assert canonical_result(sharded) == canonical_result(unsharded)
