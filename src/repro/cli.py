@@ -11,6 +11,8 @@ Usage::
     ricd detect clicks.csv --shards 4 --jobs 4   # component-sharded detection
     ricd serve --replay clicks.csv  # stream the table through the online service
     ricd serve --replay clicks.csv --rate 50000 --max-batch 2000
+    ricd server --store ./store     # detection-as-a-service over HTTP
+    ricd server --store ./store --bootstrap clicks.csv --port 8749
     ricd redteam                    # attack-zoo frontier on a clean marketplace
     ricd redteam --families learned,uplift --budgets 2000 --out frontier.json
 """
@@ -225,6 +227,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="extraction engine for rechecks (default auto)",
     )
     _add_trace_flags(serve_parser)
+
+    server_parser = subparsers.add_parser(
+        "server",
+        help=(
+            "serve the detection API over HTTP from a persistent store "
+            "(detection-as-a-service; restart-safe warm resume)"
+        ),
+    )
+    server_parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help=(
+            "detection store directory; created empty if missing, resumed "
+            "warm (same verdicts at the same store version) if populated"
+        ),
+    )
+    server_parser.add_argument(
+        "--bootstrap",
+        default=None,
+        metavar="CLICK_TABLE",
+        help=(
+            "CSV/TSV click table detected as version 1 when the store is "
+            "empty (ignored on a populated store, which resumes as-is)"
+        ),
+    )
+    server_parser.add_argument("--host", default="127.0.0.1", help="bind host")
+    server_parser.add_argument(
+        "--port", type=int, default=8749, help="bind port; 0 picks an ephemeral port"
+    )
+    server_parser.add_argument("--k1", type=int, default=10, help="min group users")
+    server_parser.add_argument("--k2", type=int, default=10, help="min group items")
+    server_parser.add_argument(
+        "--engine",
+        choices=("reference", "sparse", "bitset", "auto"),
+        default="auto",
+        help="extraction engine for rechecks (default auto)",
+    )
+    server_parser.add_argument(
+        "--max-batch", type=int, default=1_000, help="events per micro-batch (default 1000)"
+    )
+    server_parser.add_argument(
+        "--max-dirty",
+        type=int,
+        default=5_000,
+        help="staleness bound: dirty-region size that forces a recheck (default 5000)",
+    )
+    server_parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=10,
+        help="staleness bound: micro-batches between rechecks (default 10)",
+    )
+    server_parser.add_argument(
+        "--max-age",
+        type=float,
+        default=60.0,
+        help="staleness bound: seconds a dirty mark may wait (default 60)",
+    )
+    server_parser.add_argument(
+        "--no-pump-thread",
+        action="store_true",
+        help=(
+            "do not start the background pump thread; the queue is only "
+            "drained by explicit POST /v1/pump or /v1/checkpoint calls "
+            "(deterministic driving for tests and replays)"
+        ),
+    )
 
     redteam_parser = subparsers.add_parser(
         "redteam",
@@ -523,6 +593,73 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 1 if parity_failures else 0
 
 
+def _run_server(args: argparse.Namespace) -> int:
+    """The ``ricd server`` subcommand body: detection-as-a-service."""
+    from .serve import DetectionService, ServeConfig, StalenessPolicy
+    from .serve.api import serve_api
+
+    initial = None
+    if args.bootstrap:
+        try:
+            initial = read_click_table(args.bootstrap)
+        except (OSError, ReproError) as error:
+            print(f"error: cannot load {args.bootstrap}: {error}", file=sys.stderr)
+            return 2
+    try:
+        params = RICDParams(k1=args.k1, k2=args.k2)
+        config = ServeConfig(
+            max_batch=args.max_batch,
+            staleness=StalenessPolicy(
+                max_dirty=args.max_dirty,
+                max_batches=args.max_batches,
+                max_age=args.max_age,
+            ),
+        )
+        service = DetectionService.from_store(
+            args.store,
+            initial_graph=initial,
+            params=params,
+            engine=args.engine,
+            config=config,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    server, thread = serve_api(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    graph = service.online.graph
+    print(
+        f"store {args.store}: head version {service.store_version}, "
+        f"{graph.num_users} users / {graph.num_items} items / {graph.num_edges} edges"
+    )
+    print(f"serving detection API at http://{host}:{port}/v1/ (Ctrl-C to stop)")
+    if not args.no_pump_thread:
+        service.start()
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        try:
+            server.shutdown()
+            service.stop(drain=False)
+            # A clean close is a checkpoint: drain, sync exactly, compact
+            # the store head so the next start resumes from one snapshot.
+            result = service.checkpoint()
+            print(
+                f"final state at store version {service.store_version}: "
+                f"{len(result.suspicious_users)} suspicious users, "
+                f"{len(result.suspicious_items)} suspicious items"
+            )
+        except KeyboardInterrupt:
+            # A second Ctrl-C skips the final checkpoint; the store stays
+            # at its last committed version (crash-safe by construction).
+            print("forced exit before the final checkpoint", file=sys.stderr)
+            return 130
+    return 0
+
+
 def _run_redteam(args: argparse.Namespace) -> int:
     """The ``ricd redteam`` subcommand body: attack zoo vs the detector."""
     import json
@@ -679,6 +816,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "server":
+        return _run_server(args)
 
     if args.command == "redteam":
         return _run_redteam(args)

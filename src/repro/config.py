@@ -171,6 +171,17 @@ class FeedbackPolicy:
         Lowest admissible ``alpha`` during relaxation.
     shrink_k:
         Whether to also decrement ``k1``/``k2`` (floored at 2) each round.
+    hot_cap_step:
+        Additive *increase* applied to the screening module's
+        ``hot_click_cap`` per round (capped at ``hot_cap_ceiling``; 0
+        disables).  An adaptive attacker pads each worker's mean
+        hot-item clicks to exactly the deployed cap so the user
+        behaviour check clears them; raising the cap during relaxation
+        moves that organic-looking band above the padded mean and pulls
+        the workers back into the screened set.
+    hot_cap_ceiling:
+        Highest admissible ``hot_click_cap`` during relaxation — beyond
+        this, genuinely organic heavy browsers start to be swept in.
     """
 
     expectation: int = 1
@@ -179,6 +190,8 @@ class FeedbackPolicy:
     alpha_step: float = 0.1
     alpha_floor: float = 0.5
     shrink_k: bool = False
+    hot_cap_step: float = 0.0
+    hot_cap_ceiling: float = 16.0
 
     def __post_init__(self) -> None:
         _require(self.expectation >= 0, "expectation must be >= 0", "expectation")
@@ -187,6 +200,10 @@ class FeedbackPolicy:
         _require(self.alpha_step >= 0, "alpha_step must be >= 0", "alpha_step")
         _require(
             0.0 < self.alpha_floor <= 1.0, "alpha_floor must lie in (0, 1]", "alpha_floor"
+        )
+        _require(self.hot_cap_step >= 0, "hot_cap_step must be >= 0", "hot_cap_step")
+        _require(
+            self.hot_cap_ceiling > 0, "hot_cap_ceiling must be positive", "hot_cap_ceiling"
         )
 
 

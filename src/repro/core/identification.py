@@ -110,6 +110,14 @@ def adjust_parameters(
     must already be resolved to a number (the framework resolves data-
     derived thresholds before looping).
 
+    When ``policy.hot_cap_step`` is positive the screening module's
+    ``hot_click_cap`` is *raised* by that step (capped at
+    ``policy.hot_cap_ceiling``): the cap is the one screening parameter
+    an adaptive attacker can hide directly under — hot-pad workers click
+    hot items exactly often enough to look organic — so a feedback loop
+    that never moves it can relax ``t_click``/``alpha`` forever without
+    recovering them.
+
     Returns the relaxed ``(params, screening)`` pair; inputs are untouched.
     """
     changes: dict[str, object] = {}
@@ -120,4 +128,10 @@ def adjust_parameters(
     if policy.shrink_k:
         changes["k1"] = max(2, params.k1 - 1)
         changes["k2"] = max(2, params.k2 - 1)
+    if policy.hot_cap_step > 0 and screening.hot_click_cap < policy.hot_cap_ceiling:
+        screening = screening.replace(
+            hot_click_cap=min(
+                policy.hot_cap_ceiling, screening.hot_click_cap + policy.hot_cap_step
+            )
+        )
     return params.replace(**changes), screening

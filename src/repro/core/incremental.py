@@ -28,6 +28,7 @@ batch framework does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Hashable, Iterable
 
 from .. import obs
@@ -36,6 +37,7 @@ from ..config import RICDParams, ScreeningParams
 from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.builders import seed_expansion
+from ..graph.indexed import snapshot_or_none
 from ..pipeline import Identification, PipelineContext
 from ..resilience.faults import inject
 from .framework import RICDDetector
@@ -88,6 +90,9 @@ class IncrementalRICD:
         traverse_degree_cap: int | None = None,
         engine: str = "reference",
         time_source: Callable[[], float] | None = None,
+        *,
+        adopt_graph: bool = False,
+        initial_result: DetectionResult | None = None,
     ):
         """``traverse_degree_cap`` bounds the dirty-region expansion: the
         BFS does not traverse *through* nodes above the cap (hub items
@@ -110,14 +115,21 @@ class IncrementalRICD:
         stamp when its dirty region *started* accumulating, exposed as
         :attr:`dirty_since` / :meth:`dirty_age` — the signal behind the
         scheduler's ``max_age`` staleness bound.  Without one, ages read
-        as zero and only size/batch bounds can fire."""
+        as zero and only size/batch bounds can fire.
+
+        ``adopt_graph`` takes ownership of ``initial_graph`` instead of
+        copying it — the warm-start path, where the graph arrived from a
+        store with its memoized array snapshot installed and a defensive
+        copy would throw that warmth away.  ``initial_result`` skips the
+        bootstrap full pass by installing a (persisted) result as the
+        starting state; the caller asserts it matches the graph."""
         if recheck_batches is not None and recheck_batches < 1:
             raise ValueError(f"recheck_batches must be >= 1, got {recheck_batches}")
         self._explicit_traverse_cap = traverse_degree_cap is not None
         if traverse_degree_cap is None:
             traverse_degree_cap = self._derive_traverse_cap(initial_graph)
         self._traverse_degree_cap = traverse_degree_cap
-        self._graph = initial_graph.copy()
+        self._graph = initial_graph if adopt_graph else initial_graph.copy()
         self._detector = RICDDetector(
             params=params or RICDParams(),
             screening=screening or ScreeningParams(),
@@ -130,9 +142,152 @@ class IncrementalRICD:
         self._dirty_users: set[Node] = set()
         self._dirty_items: set[Node] = set()
         self._batches_since_recheck = 0
-        # Bootstrap with one full pass so `current_result` is meaningful
-        # from the start.
-        self._result = self._detector.detect(self._graph)
+        self._store = None
+        self._pending_records: list[tuple[Node, Node, int]] = []
+        self._pending_destructive = False
+        if initial_result is not None:
+            self._result = initial_result
+        else:
+            # Bootstrap with one full pass so `current_result` is
+            # meaningful from the start.
+            self._result = self._detector.detect(self._graph)
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        params: RICDParams | None = None,
+        screening: ScreeningParams | None = None,
+        recheck_batches: int | None = None,
+        max_group_users: int | None = 18,
+        traverse_degree_cap: int | None = None,
+        engine: str = "reference",
+        time_source: Callable[[], float] | None = None,
+    ) -> "IncrementalRICD":
+        """Resume from the latest checkpoint of a detection store.
+
+        ``store`` is an open :class:`~repro.store.DetectionStore` (or a
+        path to one).  The head graph loads warm (its array snapshot is
+        installed, so the first ``indexed()`` access is a cache hit), the
+        persisted result becomes the starting state — degraded/stale
+        provenance intact, no bootstrap pass — and persisted thresholds
+        are rehydrated into the detector's memo so the first resolution
+        is a ``detect.threshold_cache_hits``.  Parameters default to the
+        values persisted with the head version, so a resumed stream keeps
+        detecting with the configuration it was persisted under.
+        """
+        if isinstance(store, (str, Path)):
+            from ..store import DetectionStore
+
+            store = DetectionStore.open(store)
+        stored = store.load_thresholds()
+        stored_input = stored_resolved = stored_screening = None
+        if stored is not None:
+            stored_input, stored_resolved, stored_screening = stored
+        if params is None:
+            params = stored_input
+        if screening is None:
+            screening = stored_screening
+        graph = store.load_graph()
+        online = cls(
+            graph,
+            params=params,
+            screening=screening,
+            recheck_batches=recheck_batches,
+            max_group_users=max_group_users,
+            traverse_degree_cap=traverse_degree_cap,
+            engine=engine,
+            time_source=time_source,
+            adopt_graph=True,
+            initial_result=store.load_result(),
+        )
+        if stored_resolved is not None and online._detector.params == stored_input:
+            online._detector._thresholds().rehydrate(graph, stored_input, stored_resolved)
+        online.attach_store(store)
+        return online
+
+    def attach_store(self, store) -> None:
+        """Persist every subsequent recheck's state into ``store``.
+
+        Successful and stale rechecks alike commit a new store version —
+        a delta of the records ingested since the last persist (or a full
+        snapshot after destructive cleanup, which deltas cannot express)
+        plus the resolved thresholds, fixpoint memos and the result with
+        its provenance flags.  A store write that fails (fault injection,
+        disk trouble) is absorbed: the version is aborted, the catalog
+        stays on the previous version, and the records stay pending for
+        the next recheck — the stream never dies to its own persistence.
+        """
+        self._store = store
+        self._pending_records = []
+        self._pending_destructive = False
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.DetectionStore`, or ``None``."""
+        return self._store
+
+    def persist_checkpoint(self) -> int | None:
+        """Make the store head a full-snapshot (compaction) point.
+
+        The service calls this at checkpoints.  When state is already
+        persisted at the head (the usual case — the checkpoint's
+        ``recheck_full`` committed it), the head's delta chain is folded
+        into a base snapshot in place; pending or destructive changes
+        commit a fresh snapshot version instead.  Either way later
+        resumes load the checkpoint directly, without delta replay.
+        Returns the snapshot's version, or ``None`` when no store is
+        attached or the write was absorbed.
+        """
+        if self._store is None:
+            return None
+        if self._store.head is None or self._pending_records or self._pending_destructive:
+            return self._persist(snapshot=True)
+        try:
+            with obs.span("store_persist"):
+                return self._store.compact()
+        except ReproError:
+            obs.count("store.persist_failures")
+            return None
+
+    def _persist(self, snapshot: bool = False) -> int | None:
+        if self._store is None:
+            return None
+        store = self._store
+        version = store.begin_version()
+        try:
+            with obs.span("store_persist"):
+                if snapshot or store.head is None or self._pending_destructive:
+                    store.put_snapshot(self._graph)
+                else:
+                    store.put_delta(
+                        [
+                            (str(user), str(item), clicks)
+                            for user, item, clicks in self._pending_records
+                        ]
+                    )
+                resolved = self._detector.resolve_thresholds(self._graph)
+                derived = {}
+                array_snapshot = snapshot_or_none(self._graph)
+                if array_snapshot is not None:
+                    derived = array_snapshot.derived
+                from ..store import memos_to_json
+
+                store.put_thresholds(
+                    self._detector.params,
+                    resolved,
+                    self._detector.screening,
+                    memos=memos_to_json(derived),
+                )
+                store.put_result(self._result)
+                store.commit()
+        except ReproError:
+            store.abort()
+            obs.count("store.persist_failures")
+            return None
+        self._pending_records = []
+        self._pending_destructive = False
+        return version
 
     @staticmethod
     def _derive_traverse_cap(graph: BipartiteGraph) -> int:
@@ -202,6 +357,8 @@ class IncrementalRICD:
         for user, item, clicks in batch.records:
             self._graph.add_click(user, item, clicks)
             self._mark_dirty(user, item)
+        if self._store is not None:
+            self._pending_records.extend(batch.records)
         self._batches_since_recheck += 1
         if (
             self._recheck_batches is not None
@@ -236,6 +393,10 @@ class IncrementalRICD:
                     # graph's.  The parity test pins this.
                     self._graph.remove_edge(user, item)
             self._mark_dirty(user, item)
+        if self._store is not None:
+            # Deltas are append-only click records; removals force the
+            # next persisted version to be a full snapshot.
+            self._pending_destructive = True
         return self.recheck()
 
     def recheck(self) -> DetectionResult:
@@ -253,6 +414,11 @@ class IncrementalRICD:
         """
         if not self._dirty_users and not self._dirty_items:
             self._batches_since_recheck = 0
+            if self._pending_records or self._pending_destructive:
+                # A previous persist was absorbed (store fault): the
+                # detection state is current but the store is behind.
+                # Retry so the backlog lands as soon as pressure is off.
+                self._persist()
             return self._result
 
         try:
@@ -263,6 +429,10 @@ class IncrementalRICD:
             self._result.stale = True
             # Dirty sets are retained: the failed pass covered nothing.
             self._batches_since_recheck = 0
+            # The stale state still persists (graph advanced, result kept
+            # with its stale flag), so a resume reproduces exactly what
+            # this process would keep serving.
+            self._persist()
             return self._result
         self._result = result
         self._result.stale = False
@@ -270,6 +440,7 @@ class IncrementalRICD:
         self._dirty_items.clear()
         self._dirty_since = None
         self._batches_since_recheck = 0
+        self._persist()
         return self._result
 
     def recheck_full(self) -> DetectionResult:

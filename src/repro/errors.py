@@ -17,6 +17,9 @@ __all__ = [
     "SideMismatchError",
     "ClickTableError",
     "MalformedRowError",
+    "SchemaVersionError",
+    "StoreError",
+    "CorruptArtifactError",
     "ConfigError",
     "DataGenError",
     "DetectionError",
@@ -95,6 +98,40 @@ class MalformedRowError(ClickTableError, ValueError):
     def __init__(self, message: str, line_number: int | None = None, row=None):
         self.row = row
         super().__init__(message, line_number=line_number)
+
+
+class SchemaVersionError(ClickTableError):
+    """A persisted artifact declares a schema version this build can't read.
+
+    Raised instead of silently misreading arrays when an on-disk graph
+    archive (npz or memmap directory) or store catalog was written by a
+    newer (or unknown) format revision.  Carries the offending version
+    and the versions this build supports so operators can tell whether to
+    upgrade the reader or re-export the artifact.
+    """
+
+    def __init__(self, message: str, found=None, supported: tuple = ()):
+        self.found = found
+        self.supported = tuple(supported)
+        super().__init__(message)
+
+
+class StoreError(ReproError):
+    """The versioned detection store is inconsistent or misused.
+
+    Attributes
+    ----------
+    version:
+        The store version involved, when known.
+    """
+
+    def __init__(self, message: str, version: int | None = None):
+        self.version = version
+        super().__init__(message)
+
+
+class CorruptArtifactError(StoreError):
+    """An on-disk store artifact failed an integrity (checksum) check."""
 
 
 class ConfigError(ReproError, ValueError):

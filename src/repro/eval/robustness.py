@@ -311,7 +311,7 @@ def _sized_feedback_policy(expectation: int, shrink_k: bool = True):
 
     return FeedbackPolicy(
         expectation=expectation, max_rounds=4, t_click_step=2.0,
-        alpha_step=0.1, shrink_k=shrink_k,
+        alpha_step=0.1, shrink_k=shrink_k, hot_cap_step=2.0,
     )
 
 

@@ -72,6 +72,37 @@ class BipartiteGraph:
         self._indexed: "IndexedGraph | None" = None
         self._delta: list | None = None
 
+    @classmethod
+    def from_indexed(cls, snapshot: "IndexedGraph") -> "BipartiteGraph":
+        """Rebuild a mutable graph around a frozen snapshot (warm start).
+
+        The inverse of :meth:`indexed`: the dict adjacency is filled from
+        the snapshot's edge arrays, the mutation version is pinned to
+        ``snapshot.version``, and the snapshot itself is installed as the
+        memoized array view — so the first :meth:`indexed` call after a
+        store load is a cache *hit* (no ``graph.indexed.misses``), keeping
+        every version-keyed consumer cache (thresholds, fixpoint memos)
+        attachable to the restored state.
+        """
+        graph = cls()
+        graph._users = {user: {} for user in snapshot.users}
+        graph._items = {item: {} for item in snapshot.items}
+        users, items = snapshot.users, snapshot.items
+        total = 0
+        for row, column, weight in zip(
+            snapshot.user_idx.tolist(),
+            snapshot.item_idx.tolist(),
+            snapshot.clicks.tolist(),
+        ):
+            user, item = users[row], items[column]
+            graph._users[user][item] = weight
+            graph._items[item][user] = weight
+            total += weight
+        graph._total_clicks = total
+        graph._version = snapshot.version
+        graph._indexed = snapshot
+        return graph
+
     # ------------------------------------------------------------------
     # Snapshot bookkeeping
     # ------------------------------------------------------------------

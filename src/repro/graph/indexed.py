@@ -242,6 +242,19 @@ class IndexedGraph:
         )
         return cls(list(users), list(items), user_idx, item_idx, clicks, version)
 
+    @classmethod
+    def from_store(cls, store, version: int | None = None) -> "IndexedGraph":
+        """Load a snapshot from a versioned detection store.
+
+        ``store`` is any object with the
+        :meth:`repro.store.DetectionStore.load_snapshot` contract (duck
+        typed to avoid an import cycle); ``version=None`` means the store
+        head.  The store resolves the nearest persisted base snapshot and
+        replays the delta chain through :meth:`apply_delta`, so the result
+        is canonical and byte-identical to a cold build at that version.
+        """
+        return store.load_snapshot(version)
+
     # ------------------------------------------------------------------
     # Incremental maintenance (append-mostly mutation)
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ try:  # numpy is optional; the text-table paths below work without it
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None
 
-from ..errors import ClickTableError, MalformedRowError
+from ..errors import ClickTableError, MalformedRowError, SchemaVersionError
 from .bipartite import BipartiteGraph
 from .builders import from_click_records
 from .indexed import IndexedGraph
@@ -246,6 +246,28 @@ def _id_array(ids: list):
     return np.array([str(node) for node in ids], dtype=str)
 
 
+#: Schema revisions this build can read.  Bump the last entry when the
+#: array layout changes; keep older readable revisions in the tuple.
+_GRAPH_SCHEMA_VERSIONS = (1,)
+
+
+def _check_schema_version(found, location) -> None:
+    """Reject artifacts written by an unknown schema revision.
+
+    A missing version (``None``) is accepted as revision 1 — archives
+    written before the marker existed are layout-identical to v1.
+    """
+    if found is None:
+        return
+    if not isinstance(found, int) or found not in _GRAPH_SCHEMA_VERSIONS:
+        raise SchemaVersionError(
+            f"{location}: unsupported graph schema version {found!r} "
+            f"(this build reads {_GRAPH_SCHEMA_VERSIONS})",
+            found=found,
+            supported=_GRAPH_SCHEMA_VERSIONS,
+        )
+
+
 def write_graph_npz(graph, path: str | Path) -> Path:
     """Persist a graph (or snapshot) as one ``.npz`` archive.
 
@@ -264,6 +286,7 @@ def write_graph_npz(graph, path: str | Path) -> Path:
         user_idx=np.asarray(snapshot.user_idx, dtype=np.int64),
         item_idx=np.asarray(snapshot.item_idx, dtype=np.int64),
         clicks=np.asarray(snapshot.clicks, dtype=np.int64),
+        schema_version=np.int64(_GRAPH_SCHEMA_VERSIONS[-1]),
     )
     # np.savez appends ".npz" when missing; report the real file.
     return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
@@ -273,7 +296,12 @@ def read_graph_npz(path: str | Path) -> IndexedGraph:
     """Load a :func:`write_graph_npz` archive back into a snapshot."""
     if np is None:
         raise RuntimeError("numpy is not installed")
-    with np.load(Path(path), allow_pickle=False) as archive:
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        # Archives written before the marker existed lack the field;
+        # those are layout-identical to schema v1 and load as such.
+        if "schema_version" in archive.files:
+            _check_schema_version(int(archive["schema_version"]), path)
         return IndexedGraph(
             [str(user) for user in archive["users"]],
             [str(item) for item in archive["items"]],
@@ -308,7 +336,7 @@ def write_graph_memmap(graph, directory: str | Path) -> Path:
         )
     meta = {
         "format": "repro-graph-memmap",
-        "version": 1,
+        "version": _GRAPH_SCHEMA_VERSIONS[-1],
         "num_users": snapshot.num_users,
         "num_items": snapshot.num_items,
         "num_edges": snapshot.num_edges,
@@ -333,6 +361,7 @@ def read_graph_memmap(directory: str | Path, mmap: bool = True) -> IndexedGraph:
     meta = json.loads((directory / "meta.json").read_text())
     if meta.get("format") != "repro-graph-memmap":
         raise ClickTableError(f"{directory} is not a graph-memmap directory")
+    _check_schema_version(meta.get("version"), directory)
     mode = "r" if mmap else None
     arrays = {
         name: np.load(directory / f"{name}.npy", mmap_mode=mode, allow_pickle=False)

@@ -136,6 +136,25 @@ class ResolveThresholds:
         self._cache = (weakref.ref(graph), graph.version, params, resolved)
         return resolved
 
+    def rehydrate(
+        self,
+        graph: "BipartiteGraph",
+        params: "RICDParams",
+        resolved: "RICDParams",
+    ) -> None:
+        """Seed the memo with thresholds persisted for ``graph``'s state.
+
+        The warm-start counterpart of :meth:`resolve`: a store that saved
+        the resolved parameters alongside the graph version reinstalls
+        them here, so the first resolution after a resume is a
+        ``detect.threshold_cache_hits`` instead of re-deriving the
+        marketplace statistics.  Correctness rests on the same invariant
+        the memo itself does — thresholds are pure functions of
+        ``(graph state, input params)`` — so a persisted entry keyed by
+        the same version is exactly what a cold derivation would produce.
+        """
+        self._cache = (weakref.ref(graph), graph.version, params, resolved)
+
     def run(self, ctx: PipelineContext) -> None:
         """Resolve against the *full* graph (thresholds are global)."""
         with obs.span("thresholds"):

@@ -58,6 +58,7 @@ SITES = (
     "feedback",
     "recheck",
     "ingest",
+    "store",
 )
 
 

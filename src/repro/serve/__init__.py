@@ -17,6 +17,21 @@ and replays), so the whole service is deterministic under pytest with
 zero wall-clock sleeps.
 """
 
+from .api import (
+    ApiError,
+    ApiServer,
+    CheckpointResponse,
+    DetectionAPI,
+    GroupVerdictResponse,
+    ResultRequest,
+    ResultResponse,
+    StatusResponse,
+    SubmitClicksRequest,
+    SubmitClicksResponse,
+    VerdictRequest,
+    VerdictResponse,
+    serve_api,
+)
 from .clock import Clock, MonotonicClock, SimulatedClock
 from .queue import BoundedEventQueue, ClickEvent, QueueStats
 from .redteam import DripOutcome, drip_campaign
@@ -38,4 +53,17 @@ __all__ = [
     "ServiceSnapshot",
     "DripOutcome",
     "drip_campaign",
+    "DetectionAPI",
+    "ApiError",
+    "ApiServer",
+    "serve_api",
+    "SubmitClicksRequest",
+    "SubmitClicksResponse",
+    "VerdictRequest",
+    "VerdictResponse",
+    "GroupVerdictResponse",
+    "ResultRequest",
+    "ResultResponse",
+    "StatusResponse",
+    "CheckpointResponse",
 ]

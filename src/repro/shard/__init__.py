@@ -15,10 +15,14 @@ Public surface:
   greedy balanced bin-packing into a :class:`~repro.shard.partition.ShardPlan`;
 * :func:`repro.shard.runner.detect_sharded` — the orchestrator
   :class:`~repro.core.framework.RICDDetector` delegates to when
-  ``shards > 1`` (also reachable via ``ricd detect --shards N``).
+  ``shards > 1`` (also reachable via ``ricd detect --shards N``);
+* :class:`repro.shard.regions.RegionalStores` — the same
+  global-thresholds + canonical-merge contract extended to one
+  persistent :class:`~repro.store.DetectionStore` per region.
 """
 
 from .partition import ShardPlan, graph_components, partition_graph
+from .regions import RegionalStores, RegionReport, detect_regions
 from .runner import detect_sharded, merge_groups
 
 __all__ = [
@@ -27,4 +31,7 @@ __all__ = [
     "partition_graph",
     "detect_sharded",
     "merge_groups",
+    "RegionalStores",
+    "RegionReport",
+    "detect_regions",
 ]

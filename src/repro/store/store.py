@@ -1,0 +1,479 @@
+"""Append-only, version-keyed persistence for the detection stack.
+
+A :class:`DetectionStore` is one directory holding everything a
+long-running deployment accumulates, keyed by a monotone *store version*
+(1, 2, 3, ...):
+
+.. code-block:: text
+
+    store/
+      catalog.json            # the only mutable file (atomic replace)
+      snapshots/v1/           # graph memmap dirs (base snapshots)
+      deltas/v3.json          # click records since the previous version
+      thresholds/v3.json      # resolved params + fixpoint memo entries
+      results/v3.json         # DetectionResult + degraded/stale provenance
+
+Every artifact is immutable once written; the catalog is the single
+point of visibility.  A version *exists* exactly when the catalog's
+``entries`` map references it, and the catalog is only ever replaced
+atomically (:func:`os.replace` of a fully-written temp file) **after**
+all of the version's artifacts are durable on disk.  That ordering is
+the crash-safety contract the ``store`` fault-injection site exercises:
+a process killed mid-write leaves either the old catalog (new artifacts
+orphaned but invisible) or the new one (all artifacts present) — never a
+catalog naming a partial artifact.
+
+Versions persist either a full *snapshot* (graph memmap directory) or a
+*delta* (the click records appended since the previous version).
+:meth:`DetectionStore.load_snapshot` resolves the nearest base snapshot
+at-or-below the requested version and replays the delta chain forward
+through :meth:`~repro.graph.indexed.IndexedGraph.apply_delta`, so a load
+at version V is canonically identical to a cold build of the same click
+table.  :meth:`DetectionStore.compact` folds the head's delta chain into
+a fresh base snapshot, bounding replay cost without rewriting history.
+
+Integrity is checked two ways: a ``schema`` marker on the catalog
+(:class:`~repro.errors.SchemaVersionError` on unknown revisions) and a
+CRC-32 per artifact file recorded at publish time
+(:meth:`DetectionStore.verify` recomputes them, raising
+:class:`~repro.errors.CorruptArtifactError` on mismatch).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+try:  # numpy is required for the array snapshots (same bar as graph.io)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from .. import obs
+from ..config import RICDParams, ScreeningParams
+from ..core.groups import DetectionResult
+from ..errors import CorruptArtifactError, SchemaVersionError, StoreError
+from ..graph.bipartite import BipartiteGraph
+from ..graph.indexed import IndexedGraph
+from ..graph.io import read_graph_memmap, write_graph_memmap
+from ..resilience.faults import inject
+from .serialization import (
+    memos_from_json,
+    memos_to_json,
+    params_from_json,
+    params_to_json,
+    result_from_json,
+    result_to_json,
+    screening_from_json,
+    screening_to_json,
+)
+
+__all__ = ["DetectionStore", "CATALOG_SCHEMA"]
+
+#: Catalog schema marker; bump on incompatible layout changes.
+CATALOG_SCHEMA = "ricd.store/1"
+
+def _crc32(path: Path) -> int:
+    value = 0
+    with path.open("rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return value
+            value = zlib.crc32(chunk, value)
+
+
+class DetectionStore:
+    """One persistent, versioned store directory (see module docstring).
+
+    Writes follow a begin/put/commit protocol::
+
+        version = store.begin_version()
+        store.put_snapshot(graph)          # or put_delta(records)
+        store.put_thresholds(params, resolved)
+        store.put_result(result)
+        store.commit()
+
+    Artifacts land on disk as soon as they are ``put`` (they are
+    invisible until :meth:`commit` publishes the catalog), so the commit
+    itself is one fsync-cheap atomic rename.  :meth:`abort` forgets an
+    uncommitted version; its orphaned files are harmless and reclaimed
+    by the next successful write of the same version number.
+    """
+
+    def __init__(self, root: str | Path, catalog: dict):
+        self.root = Path(root)
+        self._catalog = catalog
+        self._pending: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str | Path) -> "DetectionStore":
+        """Initialise an empty store at ``root`` (which must not hold one)."""
+        if np is None:
+            raise RuntimeError("numpy is not installed; the store needs array IO")
+        root = Path(root)
+        if (root / "catalog.json").exists():
+            raise StoreError(f"{root} already holds a detection store")
+        root.mkdir(parents=True, exist_ok=True)
+        store = cls(root, {"schema": CATALOG_SCHEMA, "head": None, "entries": {}})
+        store._publish_catalog()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "DetectionStore":
+        """Open an existing store, validating the catalog schema."""
+        if np is None:
+            raise RuntimeError("numpy is not installed; the store needs array IO")
+        root = Path(root)
+        catalog_path = root / "catalog.json"
+        if not catalog_path.exists():
+            raise StoreError(f"{root} is not a detection store (no catalog.json)")
+        catalog = json.loads(catalog_path.read_text())
+        schema = catalog.get("schema")
+        if schema != CATALOG_SCHEMA:
+            raise SchemaVersionError(
+                f"{catalog_path}: unsupported store schema {schema!r} "
+                f"(this build reads {CATALOG_SCHEMA!r})",
+                found=schema,
+                supported=(CATALOG_SCHEMA,),
+            )
+        return cls(root, catalog)
+
+    @classmethod
+    def open_or_create(cls, root: str | Path) -> "DetectionStore":
+        """Open ``root`` when it holds a store, otherwise initialise one."""
+        if (Path(root) / "catalog.json").exists():
+            return cls.open(root)
+        return cls.create(root)
+
+    # ------------------------------------------------------------------
+    # Catalog accessors
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int | None:
+        """Latest committed version, or ``None`` for an empty store."""
+        return self._catalog["head"]
+
+    def versions(self) -> list[int]:
+        """All committed versions, ascending."""
+        return sorted(int(version) for version in self._catalog["entries"])
+
+    def entry(self, version: int) -> dict:
+        """The catalog entry for ``version`` (raises on unknown versions)."""
+        try:
+            return self._catalog["entries"][str(version)]
+        except KeyError:
+            raise StoreError(f"version {version} not in store", version=version) from None
+
+    def _resolve_version(self, version: int | None) -> int:
+        if version is None:
+            if self.head is None:
+                raise StoreError("store is empty")
+            return self.head
+        self.entry(version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Write protocol
+    # ------------------------------------------------------------------
+    def begin_version(self) -> int:
+        """Start writing the next version; returns its number."""
+        if self._pending is not None:
+            raise StoreError("a version write is already in progress")
+        version = 1 if self.head is None else self.head + 1
+        self._pending = {"version": version, "entry": {"checksums": {}}}
+        return version
+
+    def abort(self) -> None:
+        """Forget the in-progress version (orphaned files stay invisible)."""
+        self._pending = None
+
+    def _require_pending(self) -> dict:
+        if self._pending is None:
+            raise StoreError("no version write in progress; call begin_version()")
+        return self._pending
+
+    def _record(self, relpath: str, slot: str | None = None) -> None:
+        pending = self._require_pending()
+        path = self.root / relpath
+        if path.is_dir():
+            for child in sorted(path.iterdir()):
+                child_rel = f"{relpath}/{child.name}"
+                pending["entry"]["checksums"][child_rel] = _crc32(child)
+        else:
+            pending["entry"]["checksums"][relpath] = _crc32(path)
+        if slot is not None:
+            pending["entry"][slot] = relpath
+
+    def _put_json(self, relpath: str, payload: dict, slot: str) -> None:
+        inject("store")
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        self._record(relpath, slot)
+
+    def put_snapshot(self, graph) -> None:
+        """Persist the full graph (or snapshot) as this version's base."""
+        pending = self._require_pending()
+        inject("store")
+        relpath = f"snapshots/v{pending['version']}"
+        with obs.span("store_snapshot"):
+            write_graph_memmap(graph, self.root / relpath)
+        self._record(relpath, "snapshot")
+
+    def put_delta(self, records: "list[tuple[str, str, int]]") -> None:
+        """Persist the click records appended since the previous version.
+
+        ``records`` are ``(user, item, clicks)`` triples, ids stringified
+        exactly as the click-table format does.  The base is implicitly
+        the previous committed version — the store is a linear history.
+        """
+        pending = self._require_pending()
+        if self.head is None:
+            raise StoreError("first version must be a snapshot, not a delta")
+        payload = {
+            "base": self.head,
+            "records": [[str(user), str(item), int(clicks)] for user, item, clicks in records],
+        }
+        self._put_json(f"deltas/v{pending['version']}.json", payload, "delta")
+
+    def put_thresholds(
+        self,
+        params: RICDParams,
+        resolved: RICDParams,
+        screening: ScreeningParams | None = None,
+        memos: list | None = None,
+    ) -> None:
+        """Persist the resolved thresholds (and optional fixpoint memos)."""
+        pending = self._require_pending()
+        payload = {
+            "input": params_to_json(params),
+            "resolved": params_to_json(resolved),
+            "screening": None if screening is None else screening_to_json(screening),
+            "memos": memos or [],
+        }
+        self._put_json(f"thresholds/v{pending['version']}.json", payload, "thresholds")
+
+    def put_result(self, result: DetectionResult) -> None:
+        """Persist the detection result, provenance flags included."""
+        pending = self._require_pending()
+        self._put_json(
+            f"results/v{pending['version']}.json", result_to_json(result), "result"
+        )
+
+    def commit(self) -> int:
+        """Publish the pending version atomically; returns its number."""
+        pending = self._require_pending()
+        entry = pending["entry"]
+        if "snapshot" not in entry and "delta" not in entry:
+            raise StoreError("pending version holds neither a snapshot nor a delta")
+        version = pending["version"]
+        self._catalog["entries"][str(version)] = entry
+        self._catalog["head"] = version
+        try:
+            self._publish_catalog()
+        except BaseException:
+            # Roll the in-memory view back so the store object matches the
+            # (unchanged) on-disk catalog after an injected fault.
+            del self._catalog["entries"][str(version)]
+            self._catalog["head"] = None if version == 1 else version - 1
+            raise
+        self._pending = None
+        obs.count("store.commits")
+        return version
+
+    def _publish_catalog(self) -> None:
+        inject("store")
+        tmp = self.root / "catalog.json.tmp"
+        tmp.write_text(json.dumps(self._catalog, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.root / "catalog.json")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _base_and_chain(self, version: int) -> "tuple[int, list[int]]":
+        """The nearest base snapshot at-or-below ``version`` + delta chain."""
+        chain: list[int] = []
+        cursor = version
+        while True:
+            entry = self.entry(cursor)
+            if "snapshot" in entry:
+                return cursor, list(reversed(chain))
+            if "delta" not in entry:  # pragma: no cover - commit() forbids this
+                raise StoreError(f"version {cursor} has no artifacts", version=cursor)
+            chain.append(cursor)
+            base = json.loads((self.root / entry["delta"]).read_text())["base"]
+            cursor = int(base)
+
+    def load_delta_records(self, version: int) -> "list[tuple[str, str, int]]":
+        """The click records version ``version`` appended over its base."""
+        entry = self.entry(version)
+        if "delta" not in entry:
+            raise StoreError(f"version {version} has no delta", version=version)
+        payload = json.loads((self.root / entry["delta"]).read_text())
+        return [(user, item, int(clicks)) for user, item, clicks in payload["records"]]
+
+    def load_snapshot(self, version: int | None = None) -> IndexedGraph:
+        """The graph at ``version`` (default head) as a canonical snapshot.
+
+        Loads the nearest persisted base snapshot and replays the delta
+        chain forward, so the result is byte-identical to a cold build of
+        the same records.  ``snapshot.version`` is set to the *store*
+        version, which is what every warm cache re-keys on.
+        """
+        version = self._resolve_version(version)
+        base, chain = self._base_and_chain(version)
+        with obs.span("store_load"):
+            snapshot = read_graph_memmap(self.root / self.entry(base)["snapshot"])
+            snapshot.version = base
+            for delta_version in chain:
+                records = self.load_delta_records(delta_version)
+                events = _records_to_events(snapshot, records)
+                snapshot = snapshot.apply_delta(events, delta_version)
+        obs.count("store.snapshot_loads")
+        self._rehydrate_memos(snapshot, version)
+        return snapshot
+
+    def load_graph(self, version: int | None = None) -> BipartiteGraph:
+        """The graph at ``version`` as a warm mutable :class:`BipartiteGraph`.
+
+        The snapshot is installed as the graph's memoized array view, so
+        the first ``indexed()`` call is a hit — no
+        ``graph.indexed.misses`` on the warm path.
+        """
+        return BipartiteGraph.from_indexed(self.load_snapshot(version))
+
+    def _rehydrate_memos(self, snapshot: IndexedGraph, version: int) -> None:
+        entry = self._catalog["entries"].get(str(version), {})
+        if "thresholds" not in entry:
+            return
+        payload = json.loads((self.root / entry["thresholds"]).read_text())
+        snapshot.derived.update(memos_from_json(payload.get("memos", [])))
+
+    def load_thresholds(
+        self, version: int | None = None
+    ) -> "tuple[RICDParams, RICDParams, ScreeningParams | None] | None":
+        """``(input, resolved, screening)`` params at ``version``, if persisted."""
+        version = self._resolve_version(version)
+        entry = self.entry(version)
+        if "thresholds" not in entry:
+            return None
+        payload = json.loads((self.root / entry["thresholds"]).read_text())
+        screening = payload.get("screening")
+        return (
+            params_from_json(payload["input"]),
+            params_from_json(payload["resolved"]),
+            None if screening is None else screening_from_json(screening),
+        )
+
+    def load_result(self, version: int | None = None) -> DetectionResult | None:
+        """The persisted :class:`DetectionResult` at ``version``, if any."""
+        version = self._resolve_version(version)
+        entry = self.entry(version)
+        if "result" not in entry:
+            return None
+        payload = json.loads((self.root / entry["result"]).read_text())
+        return result_from_json(payload)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Fold the head's delta chain into a fresh base snapshot.
+
+        The materialised head graph is written as ``snapshots/v<head>``
+        and the head entry gains a ``snapshot`` reference (published
+        atomically like any write), so later loads stop replaying the
+        chain.  History is untouched — older versions remain loadable.
+        Returns the head version; a head that already has a base snapshot
+        is a no-op.
+        """
+        version = self._resolve_version(None)
+        entry = self.entry(version)
+        if "snapshot" in entry:
+            return version
+        snapshot = self.load_snapshot(version)
+        inject("store")
+        relpath = f"snapshots/v{version}"
+        write_graph_memmap(snapshot, self.root / relpath)
+        checksums = dict(entry["checksums"])
+        snapshot_dir = self.root / relpath
+        for child in sorted(snapshot_dir.iterdir()):
+            checksums[f"{relpath}/{child.name}"] = _crc32(child)
+        updated = dict(entry, snapshot=relpath, checksums=checksums)
+        self._catalog["entries"][str(version)] = updated
+        try:
+            self._publish_catalog()
+        except BaseException:
+            self._catalog["entries"][str(version)] = entry
+            raise
+        obs.count("store.compactions")
+        return version
+
+    def verify(self, version: int | None = None) -> None:
+        """Recompute artifact checksums; raise on corruption or loss.
+
+        With ``version=None`` every committed version is checked.
+        """
+        versions = self.versions() if version is None else [self._resolve_version(version)]
+        for candidate in versions:
+            entry = self.entry(candidate)
+            for relpath, expected in entry["checksums"].items():
+                path = self.root / relpath
+                if not path.exists():
+                    raise CorruptArtifactError(
+                        f"version {candidate}: missing artifact {relpath}",
+                        version=candidate,
+                    )
+                actual = _crc32(path)
+                if actual != expected:
+                    raise CorruptArtifactError(
+                        f"version {candidate}: checksum mismatch on {relpath} "
+                        f"(expected {expected:#010x}, got {actual:#010x})",
+                        version=candidate,
+                    )
+
+    def __repr__(self) -> str:
+        return f"DetectionStore(root={str(self.root)!r}, head={self.head})"
+
+
+def _records_to_events(snapshot: IndexedGraph, records) -> list:
+    """Convert stored click records into an ``apply_delta`` event batch.
+
+    Mirrors :meth:`BipartiteGraph.add_click` semantics: unknown users and
+    items are registered first, and each edge event carries whether the
+    edge is new *to the base snapshot* — the first event of a coalesced
+    group decides, exactly the contract ``apply_delta`` groups by.
+    """
+    events: list = []
+    new_users: set = set()
+    new_items: set = set()
+    seen_edges: set = set()
+    indptr, cols = snapshot.csr_arrays()
+    for user, item, clicks in records:
+        if user not in snapshot.user_index and user not in new_users:
+            new_users.add(user)
+            events.append(("user", user))
+        if item not in snapshot.item_index and item not in new_items:
+            new_items.add(item)
+            events.append(("item", item))
+        edge = (user, item)
+        if edge in seen_edges:
+            is_new = False  # coalesced away; the group's first event decides
+        else:
+            seen_edges.add(edge)
+            row = snapshot.user_index.get(user)
+            column = snapshot.item_index.get(item)
+            if row is None or column is None:
+                is_new = True
+            else:
+                lo, hi = int(indptr[row]), int(indptr[row + 1])
+                position = int(np.searchsorted(cols[lo:hi], column))
+                is_new = not (position < hi - lo and int(cols[lo + position]) == column)
+        events.append(("edge", user, item, int(clicks), is_new))
+    return events

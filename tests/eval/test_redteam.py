@@ -160,3 +160,86 @@ class TestRedTeam:
         assert point.feedback_metrics is not None
         assert point.feedback_metrics.recall >= point.metrics.recall
         assert point.to_row()["feedback"]["rounds"] == point.feedback_rounds
+
+
+class TestHotCapRelaxation:
+    """The Fig. 7 loop's ``hot_click_cap`` relaxation closes the hot-pad gap.
+
+    Adaptive workers pad their mean hot-item clicks to exactly the
+    deployed ``hot_click_cap``, so the user behaviour check clears every
+    one of them: the baseline detector *and* a feedback loop that only
+    relaxes ``t_click``/``alpha``/``k`` recover nothing.  Raising the cap
+    per relaxation round (``FeedbackPolicy.hot_cap_step``) moves the
+    organic-looking band above the padded mean and recovers the workers.
+    """
+
+    @pytest.fixture(scope="class")
+    def attacked(self):
+        from repro.datagen.attacks import plan_family
+
+        graph = clean_marketplace("tiny", seed=0)
+        attacked = graph.copy()
+        plan = plan_family(attacked, "coattails", budget=800, seed=1, adaptive=True)
+        truth = plan.apply(attacked)
+        return attacked, truth
+
+    def test_hot_pad_attack_evades_cap_blind_feedback(self, attacked):
+        from repro.config import FeedbackPolicy
+        from repro.core.framework import RICDDetector
+        from repro.eval.robustness import node_metrics
+
+        graph, truth = attacked
+        expectation = len(truth.abnormal_users) + len(truth.abnormal_items)
+        blind = RICDDetector(
+            params=PARAMS,
+            feedback=FeedbackPolicy(
+                expectation=expectation, max_rounds=4, t_click_step=2.0,
+                alpha_step=0.1, shrink_k=True,
+            ),
+        ).detect(graph)
+        metrics = node_metrics(
+            blind.suspicious_users, blind.suspicious_items,
+            truth.abnormal_users, truth.abnormal_items,
+        )
+        # All four rounds spent, zero recall: the gap the relaxation closes.
+        assert blind.feedback_rounds == 4
+        assert metrics.recall == 0.0
+
+    def test_cap_relaxation_recovers_the_workers(self, attacked):
+        from repro.config import FeedbackPolicy
+        from repro.core.framework import RICDDetector
+        from repro.eval.robustness import node_metrics
+
+        graph, truth = attacked
+        expectation = len(truth.abnormal_users) + len(truth.abnormal_items)
+        relaxed = RICDDetector(
+            params=PARAMS,
+            feedback=FeedbackPolicy(
+                expectation=expectation, max_rounds=4, t_click_step=2.0,
+                alpha_step=0.1, shrink_k=True, hot_cap_step=2.0,
+            ),
+        ).detect(graph)
+        metrics = node_metrics(
+            relaxed.suspicious_users, relaxed.suspicious_items,
+            truth.abnormal_users, truth.abnormal_items,
+        )
+        assert metrics.recall > 0.5
+        assert metrics.precision > 0.5
+
+    def test_red_team_harness_uses_the_relaxation(self, attacked):
+        """The sized policy the frontier harness builds has the step on."""
+        from repro.eval.robustness import _sized_feedback_policy
+
+        policy = _sized_feedback_policy(10)
+        assert policy.hot_cap_step > 0
+
+    def test_ceiling_bounds_the_relaxation(self):
+        from repro.config import FeedbackPolicy, ScreeningParams
+        from repro.core.identification import adjust_parameters
+
+        policy = FeedbackPolicy(hot_cap_step=5.0, hot_cap_ceiling=8.0)
+        screening = ScreeningParams()
+        params = PARAMS.replace(t_click=10.0)
+        for _ in range(4):
+            params, screening = adjust_parameters(params, screening, policy)
+        assert screening.hot_click_cap == 8.0

@@ -253,6 +253,68 @@ class TestArrayPersistence:
             read_graph_memmap(directory)
 
 
+class TestSchemaVersioning:
+    """Unknown schema revisions raise a typed error on both array paths."""
+
+    def test_npz_embeds_the_current_schema_version(self, tmp_path, simple_graph):
+        path = write_graph_npz(simple_graph, tmp_path / "graph.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            assert int(archive["schema_version"]) == 1
+
+    def test_npz_unknown_schema_raises_typed_error(self, tmp_path, simple_graph):
+        from repro.errors import SchemaVersionError
+
+        path = write_graph_npz(simple_graph, tmp_path / "graph.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["schema_version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.raises(SchemaVersionError) as excinfo:
+            read_graph_npz(path)
+        assert excinfo.value.found == 99
+        assert 1 in excinfo.value.supported
+        assert isinstance(excinfo.value, ClickTableError)
+
+    def test_npz_without_schema_field_reads_as_legacy(self, tmp_path, simple_graph):
+        path = write_graph_npz(simple_graph, tmp_path / "graph.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "schema_version"
+            }
+        np.savez(path, **arrays)
+        loaded = read_graph_npz(path)
+        assert edge_table(loaded) == graph_table(simple_graph)
+
+    def test_memmap_unknown_schema_raises_typed_error(self, tmp_path, simple_graph):
+        import json
+
+        from repro.errors import SchemaVersionError
+
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        meta_path = directory / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(SchemaVersionError) as excinfo:
+            read_graph_memmap(directory)
+        assert excinfo.value.found == 99
+
+    def test_non_integer_schema_version_raises(self, tmp_path, simple_graph):
+        import json
+
+        from repro.errors import SchemaVersionError
+
+        directory = write_graph_memmap(simple_graph, tmp_path / "graph_dir")
+        meta_path = directory / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = "two"
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(SchemaVersionError):
+            read_graph_memmap(directory)
+
+
 click_records_strategy = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=9).map(lambda n: f"u{n}"),

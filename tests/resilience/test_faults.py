@@ -39,7 +39,7 @@ class TestSpecParsing:
         # sites; a typo here would silently disable targeted injection.
         assert set(SITES) == {
             "worker", "extraction", "screening", "shard_merge", "feedback",
-            "recheck", "ingest",
+            "recheck", "ingest", "store",
         }
 
 
