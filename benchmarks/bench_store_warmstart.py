@@ -28,7 +28,14 @@ from repro.core.incremental import IncrementalRICD
 from repro.datagen.atscale import AtScaleConfig, generate_at_scale
 from repro.eval.reporting import render_table
 from repro.graph import BipartiteGraph
+from repro.serve.service import DetectionService
 from repro.store import DetectionStore, memos_to_json
+
+#: Scales at (or above) this fraction of paper proportions must warm-start
+#: at least this many times faster than the cold rebuild — the lazy
+#: ``from_indexed`` acceptance bar (ISSUE 10).
+SPEEDUP_FLOOR_SCALE = 0.1
+SPEEDUP_FLOOR = 10.0
 
 SCALES = tuple(
     float(token)
@@ -121,6 +128,27 @@ def test_store_warmstart(benchmark, tmp_path, emit_report, emit_json):
         assert recorder.counters.get("graph.indexed.hits", 0) >= 1
         assert canonical(warm_result) == canonical(cold_result)
 
+        # The full service resume (graph + thresholds + verdict, ready to
+        # ingest) — the restart path a deployment actually takes.
+        service_recorder = obs.Recorder()
+        started = time.perf_counter()
+        with obs.recording(service_recorder):
+            service = DetectionService.from_store(DetectionStore.open(root))
+            service_result = service.online.current_result
+            service.online.graph.indexed()
+        service_seconds = time.perf_counter() - started
+        service_misses = service_recorder.counters.get("graph.indexed.misses", 0)
+        assert service_misses == 0, f"service resume rebuilt the snapshot {service_misses}x"
+        assert canonical(service_result) == canonical(cold_result)
+
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+        service_speedup = cold_seconds / max(service_seconds, 1e-9)
+        if scale >= SPEEDUP_FLOOR_SCALE:
+            assert service_speedup >= SPEEDUP_FLOOR, (
+                f"warm DetectionService.from_store at scale {scale} is only "
+                f"{service_speedup:.1f}x faster than cold (floor {SPEEDUP_FLOOR}x)"
+            )
+
         rows.append(
             [
                 f"1/{round(1 / scale)}",
@@ -128,7 +156,8 @@ def test_store_warmstart(benchmark, tmp_path, emit_report, emit_json):
                 f"{graph.num_edges:,}",
                 f"{cold_seconds:.2f}",
                 f"{warm_seconds:.2f}",
-                f"{cold_seconds / max(warm_seconds, 1e-9):.1f}x",
+                f"{service_seconds:.2f}",
+                f"{service_speedup:.1f}x",
             ]
         )
         payload_scales.append(
@@ -139,7 +168,9 @@ def test_store_warmstart(benchmark, tmp_path, emit_report, emit_json):
                 "edges": int(graph.num_edges),
                 "cold_seconds": round(cold_seconds, 3),
                 "warm_seconds": round(warm_seconds, 3),
-                "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+                "service_warm_seconds": round(service_seconds, 3),
+                "speedup": round(speedup, 1),
+                "service_speedup": round(service_speedup, 1),
                 "indexed_misses": misses,
                 "suspicious_users": len(warm_result.suspicious_users),
             }
@@ -147,7 +178,7 @@ def test_store_warmstart(benchmark, tmp_path, emit_report, emit_json):
 
     emit_report(
         render_table(
-            ["scale", "users", "edges", "cold s", "warm s", "speedup"],
+            ["scale", "users", "edges", "cold s", "warm s", "svc warm s", "speedup"],
             rows,
             title="Store warm-start — restart-to-verdict latency, cold vs warm",
         )

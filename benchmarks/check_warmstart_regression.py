@@ -1,0 +1,93 @@
+"""CI gate: warm-restart latency must not regress against the baseline.
+
+Compares a freshly-emitted ``BENCH_store_warmstart.json`` against the
+baseline committed at the repo root and exits non-zero when the warm
+path regresses.  Two checks per scale present in both files:
+
+* ``warm_seconds`` / ``service_warm_seconds`` may not exceed
+  ``--tolerance`` x the baseline (default 2x, per ISSUE 10).  An
+  absolute ``--floor-seconds`` grace absorbs clock noise at tiny CI
+  scales, where the baseline warm time is a few hundredths of a second
+  and a 2x ratio would trip on scheduler jitter rather than a real
+  regression — the failure mode this gate exists for (the lazy
+  ``from_indexed`` path silently reverting to the O(E) rebuild) costs
+  whole seconds, far above the floor.
+* ``indexed_misses`` must be zero — the warm path never rebuilds the
+  array snapshot, asserted by counter exactly as the bench itself does.
+
+Usage::
+
+    python benchmarks/check_warmstart_regression.py \
+        --baseline BENCH_store_warmstart.json \
+        --fresh benchmarks/artifacts/BENCH_store_warmstart.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scales(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {round(float(entry["scale"]), 6): entry for entry in payload["scales"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--fresh", required=True, help="freshly emitted JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when fresh warm seconds exceed tolerance x baseline",
+    )
+    parser.add_argument(
+        "--floor-seconds",
+        type=float,
+        default=0.25,
+        help="absolute grace below which warm times never fail the ratio",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_scales(args.baseline)
+    fresh = load_scales(args.fresh)
+    failures = []
+    compared = 0
+    for scale, entry in sorted(fresh.items()):
+        if entry.get("indexed_misses", 0) != 0:
+            failures.append(
+                f"scale {scale}: warm resume rebuilt the snapshot "
+                f"{entry['indexed_misses']}x (must be 0)"
+            )
+        base = baseline.get(scale)
+        if base is None:
+            print(f"note: scale {scale} not in baseline; ratio check skipped")
+            continue
+        compared += 1
+        for field in ("warm_seconds", "service_warm_seconds"):
+            if field not in entry or field not in base:
+                continue
+            limit = max(args.tolerance * base[field], args.floor_seconds)
+            if entry[field] > limit:
+                failures.append(
+                    f"scale {scale}: {field} {entry[field]:.3f}s exceeds "
+                    f"{limit:.3f}s ({args.tolerance}x baseline "
+                    f"{base[field]:.3f}s, floor {args.floor_seconds}s)"
+                )
+            else:
+                print(
+                    f"ok: scale {scale} {field} {entry[field]:.3f}s "
+                    f"<= {limit:.3f}s"
+                )
+    if not compared and not failures:
+        print("error: no scales in common between baseline and fresh artifact")
+        return 2
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

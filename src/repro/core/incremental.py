@@ -167,8 +167,14 @@ class IncrementalRICD:
         """Resume from the latest checkpoint of a detection store.
 
         ``store`` is an open :class:`~repro.store.DetectionStore` (or a
-        path to one).  The head graph loads warm (its array snapshot is
-        installed, so the first ``indexed()`` access is a cache hit), the
+        path to one).  The head graph loads warm *and lazy*: the array
+        snapshot installs as the mutable graph's backing truth in O(1) —
+        no per-edge rebuild loop — and per-vertex adjacency materializes
+        only where the stream actually writes (ingested clicks hydrate
+        their two endpoints; destructive cleanup hydrates per edge it
+        deletes), so resume latency is independent of graph size.  The
+        snapshot doubles as the memoized array view, so the first
+        ``indexed()`` access is a cache hit.  The
         persisted result becomes the starting state — degraded/stale
         provenance intact, no bootstrap pass — and persisted thresholds
         are rehydrated into the detector's memo so the first resolution

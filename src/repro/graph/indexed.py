@@ -106,6 +106,7 @@ class IndexedGraph:
         "_csr",
         "_csr_arrays",
         "_csc_arrays",
+        "_csc_clicks",
         "_user_degrees",
         "_item_degrees",
         "_user_clicks",
@@ -141,6 +142,7 @@ class IndexedGraph:
         self._csr = None
         self._csr_arrays = None
         self._csc_arrays = None
+        self._csc_clicks = None
         self._user_degrees = None
         self._item_degrees = None
         self._user_clicks = None
@@ -462,7 +464,47 @@ class IndexedGraph:
                 out=indptr[1:],
             )
             self._csc_arrays = (indptr, np.asarray(self.user_idx)[order])
+            self._csc_clicks = np.asarray(self.clicks)[order]
         return self._csc_arrays
+
+    # ------------------------------------------------------------------
+    # Single-vertex slices (the lazy mutable graph's hydration primitives)
+    # ------------------------------------------------------------------
+    def row_slice(self, row: int):
+        """``(item_columns, weights)`` for user row ``row``, columns ascending.
+
+        One CSR slice — no copies beyond the views — so
+        :meth:`~repro.graph.bipartite.BipartiteGraph.from_indexed`'s lazy
+        mode can hydrate (or directly serve) a single user's adjacency
+        without touching the rest of the edge arrays.
+        """
+        indptr, cols = self.csr_arrays()
+        lo, hi = int(indptr[row]), int(indptr[row + 1])
+        return cols[lo:hi], self.clicks[lo:hi]
+
+    def column_slice(self, column: int):
+        """``(user_rows, weights)`` for item column ``column``, rows ascending.
+
+        The CSC mirror of :meth:`row_slice`; the weight permutation is
+        cached alongside the CSC index arrays, so per-item hydration after
+        the first call is two array slices.
+        """
+        indptr, rows = self.csc_arrays()
+        lo, hi = int(indptr[column]), int(indptr[column + 1])
+        return rows[lo:hi], self._csc_clicks[lo:hi]
+
+    def edge_weight(self, row: int, column: int) -> int:
+        """Click count on edge ``(row, column)``, or 0 when absent.
+
+        A binary search inside the row's canonical (ascending) column
+        slice — the O(log degree) point lookup behind the lazy graph's
+        ``get_click``/``has_edge`` on unmaterialized vertices.
+        """
+        cols, weights = self.row_slice(row)
+        position = int(np.searchsorted(cols, column))
+        if position < len(cols) and int(cols[position]) == column:
+            return int(weights[position])
+        return 0
 
     # ------------------------------------------------------------------
     # CSR biadjacency

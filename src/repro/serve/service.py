@@ -243,10 +243,11 @@ class DetectionService:
         ``store`` is an open :class:`~repro.store.DetectionStore` or a
         path.  An *empty* store bootstraps: the service detects over
         ``initial_graph`` (default: an empty graph) and commits version 1
-        as a full snapshot before serving.  A *populated* store resumes:
-        the head graph loads warm, the persisted result — provenance
-        flags intact — serves immediately, and rechecks keep committing
-        new versions.  Restarting a process on the same store therefore
+        as a full snapshot before serving.  A *populated* store resumes
+        in O(1) graph work: the head snapshot lazily backs the mutable
+        graph (no edge-by-edge rebuild; vertices hydrate as ingest
+        touches them), the persisted result — provenance flags intact —
+        serves immediately, and rechecks keep committing new versions.  Restarting a process on the same store therefore
         serves the same verdicts at the same store version, the contract
         the API round-trip test pins.
         """

@@ -201,7 +201,13 @@ class RegionalStores:
         return store.commit()
 
     def load_graphs(self) -> "dict[str, BipartiteGraph]":
-        """Every region's head graph (empty regions load as empty graphs)."""
+        """Every region's head graph (empty regions load as empty graphs).
+
+        Each graph loads lazily over its region's array snapshot, so a
+        multi-region resume is O(regions), not O(edges): the union pass
+        (``detect_regions``/``checkpoint``) streams ``edges()`` straight
+        from the backing CSR without ever materializing dict adjacency.
+        """
         graphs: dict[str, BipartiteGraph] = {}
         for region in self.regions():
             store = self._stores[region]

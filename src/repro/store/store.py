@@ -75,6 +75,26 @@ __all__ = ["DetectionStore", "CATALOG_SCHEMA"]
 #: Catalog schema marker; bump on incompatible layout changes.
 CATALOG_SCHEMA = "ricd.store/1"
 
+#: Subdirectories that hold versioned artifacts (GC scans only these; the
+#: catalog and anything a deployment drops next to it are never touched).
+_ARTIFACT_DIRS = ("snapshots", "deltas", "thresholds", "results")
+
+
+def _artifact_version(relpath: str) -> int | None:
+    """The version an artifact path belongs to, by naming convention.
+
+    ``snapshots/v3/clicks.npy`` and ``deltas/v3.json`` both map to 3;
+    paths outside the convention map to ``None`` (treated as orphans of
+    no version).
+    """
+    parts = relpath.split("/")
+    if len(parts) < 2:
+        return None
+    tag = parts[1].split(".", 1)[0]
+    if tag.startswith("v") and tag[1:].isdigit():
+        return int(tag[1:])
+    return None
+
 def _crc32(path: Path) -> int:
     value = 0
     with path.open("rb") as handle:
@@ -344,7 +364,11 @@ class DetectionStore:
 
         The snapshot is installed as the graph's memoized array view, so
         the first ``indexed()`` call is a hit — no
-        ``graph.indexed.misses`` on the warm path.
+        ``graph.indexed.misses`` on the warm path.  The rebuild is O(1):
+        the snapshot arrays back the mutable graph lazily, and dict
+        adjacency materializes per vertex only when written (or read
+        through the neighbour API) — a restart does not loop over the
+        edge table.
         """
         return BipartiteGraph.from_indexed(self.load_snapshot(version))
 
@@ -413,12 +437,22 @@ class DetectionStore:
             self._catalog["entries"][str(version)] = entry
             raise
         obs.count("store.compactions")
+        # Reclaim any invisible leftovers (aborted writes, crashed
+        # publishes) now that the folded snapshot is durably referenced.
+        # History stays loadable: every historical delta/threshold/result
+        # is still referenced by its own entry and is never an orphan.
+        self.gc()
         return version
 
-    def verify(self, version: int | None = None) -> None:
+    def verify(self, version: int | None = None) -> list[str]:
         """Recompute artifact checksums; raise on corruption or loss.
 
-        With ``version=None`` every committed version is checked.
+        With ``version=None`` every committed version is checked.  Returns
+        the store's *orphaned* artifact relpaths — files on disk under the
+        artifact directories that no catalog entry references (leftovers
+        of an :meth:`abort` or of a crash between artifact write and
+        catalog publish).  Orphans are invisible to every read path and
+        therefore not corruption; :meth:`gc` reclaims them.
         """
         versions = self.versions() if version is None else [self._resolve_version(version)]
         for candidate in versions:
@@ -437,6 +471,73 @@ class DetectionStore:
                         f"(expected {expected:#010x}, got {actual:#010x})",
                         version=candidate,
                     )
+        return self._orphaned_artifacts()
+
+    def _orphaned_artifacts(self) -> list[str]:
+        """Artifact files on disk that no catalog entry references.
+
+        The in-progress version (when a begin/put sequence is underway) is
+        treated as referenced even where its checksums are not yet
+        recorded: a multi-file snapshot directory must not be reported —
+        or reaped — from under a write that has not reached its
+        :meth:`_record` call.
+        """
+        referenced: set[str] = set()
+        for entry in self._catalog["entries"].values():
+            referenced.update(entry["checksums"])
+        pending_version = None
+        if self._pending is not None:
+            referenced.update(self._pending["entry"]["checksums"])
+            pending_version = self._pending["version"]
+        orphans: list[str] = []
+        for subdir in _ARTIFACT_DIRS:
+            base = self.root / subdir
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.is_dir():
+                    continue
+                relpath = path.relative_to(self.root).as_posix()
+                if relpath in referenced:
+                    continue
+                if (
+                    pending_version is not None
+                    and _artifact_version(relpath) == pending_version
+                ):
+                    continue
+                orphans.append(relpath)
+        return orphans
+
+    def gc(self) -> list[str]:
+        """Delete unreferenced artifact files; returns the reaped relpaths.
+
+        Safe against the commit protocol by construction: a file is only
+        reaped when the *published* catalog (plus any in-progress pending
+        version) does not reference it, and the catalog is only ever
+        replaced atomically after its artifacts are durable — so a crash
+        at any injected fault point leaves GC either reaping invisible
+        leftovers or keeping referenced files, never tearing a committed
+        version.  Empty artifact directories left behind (e.g. a reaped
+        snapshot dir) are pruned.
+        """
+        orphans = self._orphaned_artifacts()
+        for relpath in orphans:
+            try:
+                (self.root / relpath).unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        for subdir in _ARTIFACT_DIRS:
+            base = self.root / subdir
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*"), reverse=True):
+                if path.is_dir():
+                    try:
+                        path.rmdir()
+                    except OSError:  # non-empty: still referenced
+                        pass
+        obs.count("store.gc_reaped", len(orphans))
+        return orphans
 
     def __repr__(self) -> str:
         return f"DetectionStore(root={str(self.root)!r}, head={self.head})"

@@ -184,3 +184,91 @@ class TestDunder:
         text = repr(simple_graph)
         assert "users=3" in text
         assert "clicks=13" in text
+
+
+class TestSetClickInvalidation:
+    """Regression pins for the cache-invalidation bugfix sweep."""
+
+    def test_noop_set_click_does_not_bump_version(self, simple_graph):
+        before = simple_graph.version
+        current = simple_graph.get_click("u1", "i1")
+        simple_graph.set_click("u1", "i1", current)
+        assert simple_graph.version == before
+
+    def test_noop_set_click_keeps_indexed_snapshot_valid(self, simple_graph):
+        pytest.importorskip("numpy")
+        snapshot = simple_graph.indexed()
+        simple_graph.set_click("u1", "i1", simple_graph.get_click("u1", "i1"))
+        assert simple_graph.indexed() is snapshot
+
+    def test_zero_set_on_absent_edge_is_noop(self, simple_graph):
+        before = simple_graph.version
+        simple_graph.set_click("u1", "i3", 0)  # both endpoints exist, no edge
+        assert simple_graph.version == before
+        assert not simple_graph.has_edge("u1", "i3")
+
+    def test_zero_set_never_creates_endpoints(self, empty_graph):
+        before = empty_graph.version
+        empty_graph.set_click("ghost-u", "ghost-i", 0)
+        assert not empty_graph.has_user("ghost-u")
+        assert not empty_graph.has_item("ghost-i")
+        assert empty_graph.version == before
+
+
+class TestDeltaEventFlags:
+    """The `previous == 0` new-edge flag must hold whenever the edge is
+    new — including when both endpoints already existed."""
+
+    @staticmethod
+    def _snapshots_equal(graph):
+        pytest.importorskip("numpy")
+        from repro.graph.indexed import IndexedGraph
+
+        # apply_delta appends new nodes after the base ordering (its
+        # documented contract), so equivalence is canonical content —
+        # node sets and the weighted edge set — not raw array order.
+        def content(snapshot):
+            edges = {
+                (snapshot.users[row], snapshot.items[column], weight)
+                for row, column, weight in zip(
+                    snapshot.user_idx.tolist(),
+                    snapshot.item_idx.tolist(),
+                    snapshot.clicks.tolist(),
+                )
+            }
+            return sorted(snapshot.users), sorted(snapshot.items), edges
+
+        delta_built = graph.indexed()
+        rebuilt = IndexedGraph.from_graph(graph)
+        assert content(delta_built) == content(rebuilt)
+
+    def test_add_click_new_edge_existing_endpoints(self, simple_graph):
+        pytest.importorskip("numpy")
+        simple_graph.indexed()  # arm the delta buffer
+        simple_graph.add_click("u1", "i3", 2)  # endpoints exist, edge is new
+        assert simple_graph._delta[-1] == ("edge", "u1", "i3", 2, True)
+        self._snapshots_equal(simple_graph)
+
+    def test_add_click_existing_edge_is_not_flagged_new(self, simple_graph):
+        pytest.importorskip("numpy")
+        simple_graph.indexed()
+        simple_graph.add_click("u1", "i1", 2)
+        assert simple_graph._delta[-1] == ("edge", "u1", "i1", 2, False)
+        self._snapshots_equal(simple_graph)
+
+    def test_set_click_increase_on_new_edge_existing_endpoints(self, simple_graph):
+        pytest.importorskip("numpy")
+        simple_graph.indexed()
+        simple_graph.set_click("u2", "i2", 4)  # endpoints exist, edge is new
+        assert simple_graph._delta[-1] == ("edge", "u2", "i2", 4, True)
+        self._snapshots_equal(simple_graph)
+
+    def test_mixed_delta_burst_matches_rebuild(self, simple_graph):
+        pytest.importorskip("numpy")
+        simple_graph.indexed()
+        simple_graph.add_click("u9", "i9", 1)      # both endpoints new
+        simple_graph.add_click("u9", "i1", 3)      # new edge, one old endpoint
+        simple_graph.set_click("u1", "i1", 11)     # increase on existing edge
+        simple_graph.add_user("u10")               # idle node
+        simple_graph.set_click("u10", "i9", 2)     # new edge from idle node
+        self._snapshots_equal(simple_graph)
